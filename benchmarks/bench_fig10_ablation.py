@@ -1,0 +1,50 @@
+"""Fig. 10: impact of each technique on throughput, accuracy and URAM."""
+
+import os
+
+from repro.bench import fig10_ablation, format_rows
+
+
+def test_fig10_ablation_hardware(benchmark, save_output):
+    rows = benchmark.pedantic(
+        fig10_ablation, kwargs={"include_accuracy": False}, rounds=1, iterations=1
+    )
+    text = format_rows(rows, title="Fig. 10: technique ablation (hardware columns)")
+    save_output("fig10_ablation", text)
+
+    tps = [row["tokens_per_s"] for row in rows]
+    uram = [row["uram"] for row in rows]
+    # Quantization speeds decode up, the matrix-multiply rotation costs
+    # throughput, the FHT recovers it, reordering pushes to the final
+    # operating point, and tiling only reduces URAM.
+    assert tps[1] > tps[0] and tps[2] > tps[1]
+    assert tps[3] < tps[2]
+    assert tps[4] > tps[3]
+    assert tps[5] > tps[4]
+    assert abs(tps[6] - tps[5]) / tps[5] < 0.02
+    assert uram[6] < uram[5] / 3
+
+
+def test_fig10_ablation_with_accuracy(benchmark, reference_setup, save_output):
+    """The accuracy column of Fig. 10 (slower; uses the reference setup)."""
+    if os.environ.get("LIGHTMAMBA_SKIP_SLOW_BENCH") == "1":
+        import pytest
+
+        pytest.skip("slow accuracy ablation disabled via LIGHTMAMBA_SKIP_SLOW_BENCH")
+    rows = benchmark.pedantic(
+        fig10_ablation,
+        kwargs={"include_accuracy": True, "setup": reference_setup},
+        rounds=1,
+        iterations=1,
+    )
+    text = format_rows(rows, title="Fig. 10: technique ablation (with accuracy column)")
+    save_output("fig10_ablation_accuracy", text)
+
+    by_name = {row["step"]: row for row in rows}
+    fp16 = by_name["Original network (FP16)"]["accuracy_%"]
+    rtn_w4a4 = by_name["+ 4-bit activation quantization"]["accuracy_%"]
+    rotated = by_name["+ rotation quantization (MM Hadamard)"]["accuracy_%"]
+    # Quantizing to W4A4 costs accuracy; the rotation-assisted algorithm
+    # recovers a large part of it (paper: 51.6% -> 55.9% vs FP 60.2%).
+    assert rtn_w4a4 <= fp16
+    assert rotated >= rtn_w4a4 - 3.0

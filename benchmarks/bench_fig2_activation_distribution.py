@@ -1,0 +1,28 @@
+"""Fig. 2: out-proj activation distribution before / after rotation."""
+
+from repro.bench import fig2_activation_distribution, format_rows
+
+
+def test_fig2_activation_distribution(benchmark, reference_setup, save_output):
+    result = benchmark.pedantic(
+        fig2_activation_distribution, args=(reference_setup,), rounds=1, iterations=1
+    )
+    rows = [
+        {"distribution": "before rotation", **result["before"]},
+        {"distribution": "after rotation", **result["after"]},
+    ]
+    text = format_rows(
+        rows,
+        title=f"Fig. 2: out-proj input activation statistics (layer {result['layer']})",
+    )
+    save_output("fig2_activation_distribution", text)
+
+    before, after = result["before"], result["after"]
+    # Rotation amortises the scattered outliers: smaller peaks, near-Gaussian
+    # kurtosis, energy preserved.
+    assert after["absmax"] < before["absmax"] / 2
+    assert after["kurtosis"] < before["kurtosis"] / 4
+    assert abs(after["rms"] - before["rms"]) / before["rms"] < 1e-6
+    # Scattered outliers: the per-token outlier channel moves around before
+    # rotation (many distinct argmax channels).
+    assert before["distinct_outlier_channels"] > 4

@@ -1,0 +1,21 @@
+"""Fig. 3: hardware cost of the SSM element-wise operators, non-PoT vs PoT."""
+
+from repro.bench import fig3_ssm_requant_cost, format_rows
+
+
+def test_fig3_ssm_requant_cost(benchmark, save_output):
+    rows = benchmark.pedantic(fig3_ssm_requant_cost, rounds=1, iterations=1)
+    text = format_rows(
+        rows, title="Fig. 3: SSM operator cost with naive vs PoT re-quantization"
+    )
+    save_output("fig3_ssm_requant_cost", text)
+
+    assert len(rows) == 6
+    total_dsp_non_pot = sum(row["dsp_non_pot"] for row in rows)
+    total_dsp_pot = sum(row["dsp_pot"] for row in rows)
+    total_lut_non_pot = sum(row["lut_non_pot"] for row in rows)
+    total_lut_pot = sum(row["lut_pot"] for row in rows)
+    # PoT re-quantization removes the per-lane rescale multipliers and most of
+    # the rounding logic (paper: roughly 2-3x cheaper).
+    assert total_dsp_pot < total_dsp_non_pot / 1.5
+    assert total_lut_pot < total_lut_non_pot / 1.5

@@ -1,0 +1,25 @@
+"""Fig. 4b: out-proj weight quantization error, only-rotate vs fuse-and-rotate."""
+
+import numpy as np
+
+from repro.bench import fig4b_fusion_error, format_rows
+
+
+def test_fig4b_fusion_error(benchmark, reference_setup, save_output):
+    rows = benchmark.pedantic(
+        fig4b_fusion_error, args=(reference_setup,), rounds=1, iterations=1
+    )
+    text = format_rows(
+        rows,
+        title="Fig. 4b: per-layer 4-bit out-proj weight quantization error "
+        "(only rotate vs fuse-and-rotate the gated-RMSNorm scale)",
+    )
+    save_output("fig4b_fusion_error", text)
+
+    assert len(rows) == reference_setup.config.n_layer
+    only = np.array([row["only_rotate"] for row in rows])
+    fused = np.array([row["fuse_and_rotate"] for row in rows])
+    # Fusing the norm scale into the weight increases the quantization error
+    # on average and for the large majority of layers.
+    assert fused.mean() > only.mean()
+    assert np.mean(fused > only) > 0.7

@@ -1,0 +1,13 @@
+"""Fig. 7: URAM saved by fine-grained tiling and fusion."""
+
+from repro.bench import fig7_tiling_uram, format_rows
+
+
+def test_fig7_tiling_uram(benchmark, save_output):
+    result = benchmark.pedantic(fig7_tiling_uram, rounds=1, iterations=1)
+    text = format_rows([result], title="Fig. 7: on-chip buffer usage, tensor-by-tensor vs tile-by-tile")
+    save_output("fig7_tiling_uram", text)
+
+    # The paper reports a ~4x URAM reduction (246 -> 61).
+    assert result["reduction_factor"] > 3.0
+    assert result["tile_by_tile_uram"] < 120

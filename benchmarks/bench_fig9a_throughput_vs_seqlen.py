@@ -1,0 +1,27 @@
+"""Fig. 9a: decode throughput versus output sequence length."""
+
+from repro.bench import fig9a_throughput_vs_seqlen, format_series
+
+
+def test_fig9a_throughput_vs_seqlen(benchmark, save_output):
+    seq_lens = (128, 1024, 4096, 8192)
+    series = benchmark.pedantic(
+        fig9a_throughput_vs_seqlen, kwargs={"seq_lens": seq_lens}, rounds=1, iterations=1
+    )
+    text = format_series(
+        series, x_label="output_tokens", title="Fig. 9a: throughput vs output sequence length"
+    )
+    save_output("fig9a_throughput_vs_seqlen", text)
+
+    ours = series["LightMamba U280 (Mamba2-2.7B)"]
+    gpu = series["RTX 2070 (Mamba2-2.7B)"]
+    flightllm = series["FlightLLM (LLaMA2-7B)"]
+    dfx = series["DFX (GPT2-1.5B)"]
+
+    # Mamba keeps a fixed-size state: our throughput does not decay with the
+    # output length, while the Transformer accelerators' does.
+    assert ours[8192] >= ours[1024] * 0.95
+    assert flightllm[8192] < flightllm[128]
+    assert dfx[8192] < dfx[128]
+    # Headline: ~1.43x the RTX 2070 at long outputs.
+    assert ours[4096] / gpu[4096] > 1.2

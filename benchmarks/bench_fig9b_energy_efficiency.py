@@ -1,0 +1,19 @@
+"""Fig. 9b: energy efficiency versus model size."""
+
+from repro.bench import fig9b_energy_efficiency, format_series
+
+
+def test_fig9b_energy_efficiency(benchmark, save_output):
+    series = benchmark.pedantic(fig9b_energy_efficiency, rounds=1, iterations=1)
+    text = format_series(
+        series, x_label="model", title="Fig. 9b: energy efficiency (tokens/J) vs model size"
+    )
+    save_output("fig9b_energy_efficiency", text)
+
+    # The paper reports 6.06x / 4.65x average improvement over the RTX 2070 /
+    # RTX 4090; the shape (a multiple-times win on every model size) must hold.
+    ratios_2070 = list(series["ratio vs RTX 2070"].values())
+    ratios_4090 = list(series["ratio vs RTX 4090"].values())
+    assert min(ratios_2070) > 3.0
+    assert min(ratios_4090) > 3.0
+    assert sum(ratios_2070) / len(ratios_2070) > sum(ratios_4090) / len(ratios_4090)

@@ -1,0 +1,14 @@
+"""Table I: qualitative comparison of FPGA LLM-accelerator paradigms."""
+
+from repro.bench import format_rows, table1_architecture_comparison
+
+
+def test_table1_architecture_comparison(benchmark, save_output):
+    rows = benchmark.pedantic(table1_architecture_comparison, rounds=1, iterations=1)
+    text = format_rows(rows, title="Table I: accelerator paradigm comparison")
+    save_output("table1_architectures", text)
+
+    ours = next(row for row in rows if "LightMamba" in row["design"])
+    assert ours["architecture"] == "Partial Spatial"
+    assert ours["bit_precision"] == "W4A4"
+    assert ours["latency"] == "Low" and ours["mm_parallelism"] == "High"

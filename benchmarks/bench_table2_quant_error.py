@@ -1,0 +1,22 @@
+"""Table II: 4-bit quantization error of the out-proj activation per PTQ method."""
+
+from repro.bench import format_rows, table2_quant_error
+
+
+def test_table2_quant_error(benchmark, reference_setup, save_output):
+    rows = benchmark.pedantic(
+        table2_quant_error, args=(reference_setup,), rounds=1, iterations=1
+    )
+    text = format_rows(
+        rows,
+        title="Table II: 4-bit out-proj activation quantization error "
+        "(synthetic reference model; paper values for Mamba2-2.7B shown alongside)",
+    )
+    save_output("table2_quant_error", text)
+
+    errors = {row["method"]: row["quant_error"] for row in rows}
+    # Shape of the paper's result: rotation-assisted quantization has the
+    # lowest error, channel-wise shifting/scaling (OS+) the highest.
+    assert errors["LightMamba"] < errors["RTN"]
+    assert errors["LightMamba"] < errors["SQ"]
+    assert errors["OS+"] > errors["RTN"]

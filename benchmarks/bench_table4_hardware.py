@@ -1,0 +1,23 @@
+"""Table IV: platforms, resources, throughput and energy efficiency."""
+
+import pytest
+
+from repro.bench import format_rows, table4_hardware
+
+
+def test_table4_hardware(benchmark, save_output):
+    rows = benchmark.pedantic(table4_hardware, rounds=1, iterations=1)
+    text = format_rows(rows, title="Table IV: hardware comparison (Mamba2-2.7B decode)")
+    save_output("table4_hardware", text)
+
+    by_platform = {row["platform"]: row for row in rows}
+    assert by_platform["VCK190 W4A4"]["tokens_per_s"] == pytest.approx(7.21, rel=0.15)
+    assert by_platform["VCK190 W8A8"]["tokens_per_s"] == pytest.approx(3.61, rel=0.15)
+    assert by_platform["U280 W4A4"]["tokens_per_s"] == pytest.approx(93, rel=0.15)
+    assert by_platform["RTX 2070"]["tokens_per_s"] == pytest.approx(65, rel=0.1)
+    assert by_platform["RTX 4090"]["tokens_per_s"] == pytest.approx(138, rel=0.1)
+    # Energy-efficiency headline: the FPGA beats both GPUs by a wide margin.
+    assert (
+        by_platform["VCK190 W4A4"]["tokens_per_j"]
+        > 4 * by_platform["RTX 4090"]["tokens_per_j"]
+    )

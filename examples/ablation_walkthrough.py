@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Fig. 10 ablation walkthrough: add LightMamba's techniques one at a time.
+
+Starts from an FP16 Mamba2-2.7B on a naive sequential VCK190 design and adds
+4-bit weights, 4-bit activations, rotation (first with a matrix-multiply
+Hadamard, then with the FHT unit), computation reordering and fine-grained
+tiling -- printing throughput and URAM after every step, next to the values
+the paper reports.
+
+Run with:  python examples/ablation_walkthrough.py
+           python examples/ablation_walkthrough.py --with-accuracy   (slower)
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.bench import fig10_ablation, format_rows
+from repro.eval import build_reference_setup
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--with-accuracy",
+        action="store_true",
+        help="also evaluate the accuracy column on the synthetic reference model",
+    )
+    parser.add_argument("--examples", type=int, default=8, help="task examples per task")
+    args = parser.parse_args()
+
+    setup = None
+    if args.with_accuracy:
+        print("building the reference evaluation setup (for the accuracy column)...")
+        setup = build_reference_setup(num_task_examples=args.examples)
+
+    rows = fig10_ablation(include_accuracy=args.with_accuracy, setup=setup)
+    print(format_rows(rows, title="Fig. 10: impact of each technique (measured vs paper)"))
+
+    final = rows[-1]
+    print(
+        f"\nFinal design point: {final['tokens_per_s']} tokens/s with {final['uram']} URAM "
+        f"(paper: {final['paper_tokens_per_s']} tokens/s, {final['paper_uram']} URAM)."
+    )
+
+
+if __name__ == "__main__":
+    main()

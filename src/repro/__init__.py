@@ -1,0 +1,29 @@
+"""LightMamba reproduction.
+
+A from-scratch Python reproduction of *LightMamba: Efficient Mamba Acceleration
+on FPGA with Quantization and Hardware Co-design* (DATE 2025).
+
+The package is organised as:
+
+- :mod:`repro.mamba` -- the Mamba2 model substrate (numpy implementation of the
+  embedding, Mamba2 blocks, SSM recurrence, gated RMSNorm and LM head, with
+  prefill and autoregressive decode).
+- :mod:`repro.quant` -- the post-training quantization stack: integer
+  quantizers, RTN / SmoothQuant / OutlierSuppression+ baselines, the
+  rotation-assisted quantization algorithm (Hadamard construction, fusion,
+  online Hadamard transform) and the power-of-two SSM quantization.
+- :mod:`repro.hardware` -- the FPGA accelerator model: MMU / SSMU / HTU units,
+  cycle-level pipeline simulation, scheduling (computation reordering,
+  fine-grained tiling and fusion), memory and power models, GPU and prior-art
+  accelerator baselines.
+- :mod:`repro.eval` -- synthetic calibration / evaluation data, perplexity and
+  zero-shot task harness, quantization-error metrics.
+- :mod:`repro.core` -- the co-design configuration, end-to-end pipeline and the
+  ablation driver.
+- :mod:`repro.bench` -- generators for every table and figure of the paper's
+  evaluation section (used by ``benchmarks/`` and ``examples/``).
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,44 @@
+"""Table and figure generators for the paper's evaluation section.
+
+Every table and figure of the LightMamba evaluation (Sec. VI) has a generator
+here that returns plain-Python rows / series (lists of dictionaries), plus a
+text formatter.  The ``benchmarks/`` directory wraps these generators with
+pytest-benchmark so that ``pytest benchmarks/ --benchmark-only`` regenerates
+the whole evaluation; the ``examples/`` scripts reuse the same generators for
+interactive exploration.
+"""
+
+from repro.bench.formatting import format_rows, format_series
+from repro.bench.tables import (
+    table1_architecture_comparison,
+    table2_quant_error,
+    table3_accuracy,
+    table4_hardware,
+)
+from repro.bench.figures import (
+    fig2_activation_distribution,
+    fig3_ssm_requant_cost,
+    fig4b_fusion_error,
+    fig6_pipeline_schedules,
+    fig7_tiling_uram,
+    fig9a_throughput_vs_seqlen,
+    fig9b_energy_efficiency,
+    fig10_ablation,
+)
+
+__all__ = [
+    "format_rows",
+    "format_series",
+    "table1_architecture_comparison",
+    "table2_quant_error",
+    "table3_accuracy",
+    "table4_hardware",
+    "fig2_activation_distribution",
+    "fig3_ssm_requant_cost",
+    "fig4b_fusion_error",
+    "fig6_pipeline_schedules",
+    "fig7_tiling_uram",
+    "fig9a_throughput_vs_seqlen",
+    "fig9b_energy_efficiency",
+    "fig10_ablation",
+]

@@ -1,0 +1,71 @@
+"""Plain-text formatting of benchmark rows and series."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+__all__ = ["format_rows", "format_series"]
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_rows(
+    rows: Sequence[Dict[str, object]],
+    title: Optional[str] = None,
+    columns: Optional[List[str]] = None,
+) -> str:
+    """Render a list of dictionaries as an aligned fixed-width table."""
+    if not rows:
+        return title or ""
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    cells = [[_format_value(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(line[i]) for line in cells)) for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for line in cells:
+        lines.append("  ".join(line[i].ljust(widths[i]) for i in range(len(columns))))
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Dict[str, Dict[object, float]],
+    x_label: str = "x",
+    title: Optional[str] = None,
+) -> str:
+    """Render named series (e.g. throughput vs sequence length) as a table.
+
+    ``series`` maps a series name to ``{x: y}``; all x values are merged into
+    a single column.
+    """
+    xs: List[object] = []
+    for values in series.values():
+        for x in values:
+            if x not in xs:
+                xs.append(x)
+    rows = []
+    for x in xs:
+        row: Dict[str, object] = {x_label: x}
+        for name, values in series.items():
+            if x in values:
+                row[name] = values[x]
+        rows.append(row)
+    return format_rows(rows, title=title)

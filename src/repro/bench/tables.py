@@ -1,0 +1,217 @@
+"""Generators for the paper's tables (I-IV)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.eval.harness import evaluate_model, last_token_perplexity
+from repro.eval.metrics import mean_kl_divergence
+from repro.eval.reference import ReferenceSetup, build_reference_setup
+from repro.hardware.accelerator import AcceleratorConfig, LightMambaAccelerator
+from repro.hardware.baselines import ARCHITECTURE_COMPARISON
+from repro.hardware.gpu import GPUDecodeModel
+from repro.hardware.platforms import RTX2070, RTX4090, U280, VCK190
+from repro.mamba.config import get_preset
+from repro.quant.error import quantization_error
+from repro.quant.hadamard import hadamard_matrix
+from repro.quant.outlier_suppression import compute_shift_and_scale
+from repro.quant.qmodel import QuantConfig, QuantMethod, quantize_model
+from repro.quant.rtn import rtn_quantize_activation
+from repro.quant.smoothquant import compute_smoothing_scales
+
+__all__ = [
+    "table1_architecture_comparison",
+    "table2_quant_error",
+    "table3_accuracy",
+    "table4_hardware",
+]
+
+#: Published Table II values (4-bit quantization error of the out-proj
+#: activation on Mamba2-2.7B) for side-by-side reporting.
+PAPER_TABLE2 = {"RTN": 19.5, "SQ": 18.8, "OS+": 309.8, "LightMamba": 13.1}
+
+#: Published Table IV decode throughput (tokens/s).
+PAPER_TABLE4_THROUGHPUT = {
+    "VCK190 W4A4": 7.21,
+    "VCK190 W8A8": 3.61,
+    "U280 W4A4": 93.0,
+    "RTX 2070": 65.0,
+    "RTX 4090": 138.0,
+}
+
+
+def table1_architecture_comparison() -> List[Dict[str, str]]:
+    """Table I: qualitative comparison of accelerator paradigms."""
+    return [dict(row) for row in ARCHITECTURE_COMPARISON]
+
+
+def _held_out_out_proj_activations(setup: ReferenceSetup, layer: int) -> np.ndarray:
+    """Out-proj input activations of one layer on the held-out sequences."""
+    chunks = []
+    for seq in setup.evaluation_sequences:
+        collect: list = []
+        setup.model.forward(seq, collect=collect)
+        chunks.append(collect[layer]["out_proj_input"])
+    return np.concatenate(chunks, axis=0)
+
+
+def table2_quant_error(
+    setup: Optional[ReferenceSetup] = None,
+    bits: int = 4,
+    group_size: int = 128,
+    layer: Optional[int] = None,
+) -> List[Dict[str, object]]:
+    """Table II: 4-bit out-proj activation quantization error per method.
+
+    The error metric is the mean per-token L2 error between the original
+    activation and its quantize-dequantize round trip, measured on held-out
+    sequences (calibration statistics for SmoothQuant / OS+ come from the
+    separate calibration set, which is what exposes their sensitivity to
+    scattered outliers).
+    """
+    setup = setup or build_reference_setup()
+    layer = setup.config.n_layer // 2 if layer is None else layer
+    activations = _held_out_out_proj_activations(setup, layer)
+    weight = setup.model.blocks[layer].out_proj_weight
+
+    rows: List[Dict[str, object]] = []
+
+    def add(method: str, reconstructed: np.ndarray) -> None:
+        rows.append(
+            {
+                "method": method,
+                "quant_error": quantization_error(activations, reconstructed),
+                "paper_error": PAPER_TABLE2[method],
+            }
+        )
+
+    # RTN: quantize the raw activation directly.
+    add("RTN", rtn_quantize_activation(activations, bits, group_size))
+
+    # SmoothQuant: scale channels using calibration absmax, quantize, rescale.
+    scales = compute_smoothing_scales(setup.calibration.out_proj_absmax(layer), weight)
+    add("SQ", rtn_quantize_activation(activations / scales, bits, group_size) * scales)
+
+    # OS+: shift and scale using calibration min/max, quantize, undo.
+    lo, hi = setup.calibration.out_proj_minmax(layer)
+    shift, os_scale = compute_shift_and_scale(lo, hi, weight)
+    reconstructed = (
+        rtn_quantize_activation((activations - shift) / os_scale, bits, group_size) * os_scale
+        + shift
+    )
+    add("OS+", reconstructed)
+
+    # LightMamba: online Hadamard rotation, quantize, rotate back.
+    h = hadamard_matrix(activations.shape[1], normalized=True)
+    add("LightMamba", rtn_quantize_activation(activations @ h, bits, group_size) @ h.T)
+    return rows
+
+
+#: The method / precision grid of Table III.
+TABLE3_CONFIGS: List[tuple] = [
+    ("FP16", None, None),
+    ("RTN", QuantMethod.RTN, "w8a8"),
+    ("SQ", QuantMethod.SMOOTHQUANT, "w8a8"),
+    ("OS+", QuantMethod.OSPLUS, "w8a8"),
+    ("LightMamba", QuantMethod.LIGHTMAMBA, "w8a8"),
+    ("LightMamba*", QuantMethod.LIGHTMAMBA_STAR, "w8a8"),
+    ("RTN", QuantMethod.RTN, "w4a4"),
+    ("SQ", QuantMethod.SMOOTHQUANT, "w4a4"),
+    ("OS+", QuantMethod.OSPLUS, "w4a4"),
+    ("LightMamba", QuantMethod.LIGHTMAMBA, "w4a4"),
+    ("LightMamba*", QuantMethod.LIGHTMAMBA_STAR, "w4a4"),
+]
+
+
+def table3_accuracy(
+    setup: Optional[ReferenceSetup] = None,
+    configs: Optional[Sequence[tuple]] = None,
+    ppl_task: str = "lambada-syn",
+) -> List[Dict[str, object]]:
+    """Table III: perplexity and zero-shot accuracy per method and precision.
+
+    Each row quantizes the reference model with one method / precision, then
+    reports
+
+    - the LAMBADA-style gold-continuation perplexity,
+    - the mean KL divergence to the FP16 reference on held-out sequences
+      (the synthetic analogue of "how much worse than FP16 did this get",
+      which is what the paper's perplexity deltas convey), and
+    - the accuracy on every synthetic task plus their average.
+    """
+    setup = setup or build_reference_setup()
+    configs = configs if configs is not None else TABLE3_CONFIGS
+    ppl_task_obj = next(task for task in setup.tasks if task.name == ppl_task)
+
+    rows: List[Dict[str, object]] = []
+    for label, method, precision in configs:
+        if method is None:
+            quantized = setup.model
+            precision_label = "FP16"
+        else:
+            factory = QuantConfig.w8a8 if precision == "w8a8" else QuantConfig.w4a4
+            quantized = quantize_model(
+                setup.model, factory(method), calibration=setup.calibration
+            )
+            precision_label = precision.upper()
+        report = evaluate_model(quantized, setup.tasks, label=label)
+        row: Dict[str, object] = {
+            "method": label,
+            "precision": precision_label,
+            "ppl": round(last_token_perplexity(quantized, ppl_task_obj), 3),
+            "kl_vs_fp16": round(
+                mean_kl_divergence(setup.model, quantized, setup.evaluation_sequences), 4
+            ),
+        }
+        row.update(report.as_row())
+        rows.append(row)
+    return rows
+
+
+def table4_hardware(model_preset: str = "mamba2-2.7b") -> List[Dict[str, object]]:
+    """Table IV: platforms, resources, throughput and energy efficiency."""
+    model_config = get_preset(model_preset)
+    rows: List[Dict[str, object]] = []
+
+    fpga_points = [
+        ("VCK190 W4A4", AcceleratorConfig(platform=VCK190, weight_bits=4, act_bits=4)),
+        ("VCK190 W8A8", AcceleratorConfig(platform=VCK190, weight_bits=8, act_bits=8)),
+        ("U280 W4A4", AcceleratorConfig(platform=U280, weight_bits=4, act_bits=4)),
+    ]
+    for label, config in fpga_points:
+        accelerator = LightMambaAccelerator(config, model_config)
+        report = accelerator.report()
+        total = report.resources.total
+        rows.append(
+            {
+                "platform": label,
+                "frequency_mhz": config.platform.frequency_hz / 1e6,
+                "bandwidth_gb_s": config.platform.dram_bandwidth_bytes_per_s / 1e9,
+                "precision": f"W{config.weight_bits}A{config.act_bits}",
+                "lut": int(total.lut),
+                "ff": int(total.ff),
+                "dsp": int(total.dsp),
+                "bram": int(total.bram),
+                "uram": report.uram_total,
+                "tokens_per_s": round(report.tokens_per_second, 2),
+                "tokens_per_j": round(report.energy_efficiency_tokens_per_j, 3),
+                "paper_tokens_per_s": PAPER_TABLE4_THROUGHPUT.get(label),
+            }
+        )
+
+    for platform in (RTX2070, RTX4090):
+        result = GPUDecodeModel(platform).mamba_result(model_config)
+        rows.append(
+            {
+                "platform": platform.name,
+                "frequency_mhz": platform.frequency_hz / 1e6,
+                "bandwidth_gb_s": platform.dram_bandwidth_bytes_per_s / 1e9,
+                "precision": "FP16",
+                "tokens_per_s": round(result.tokens_per_second, 2),
+                "tokens_per_j": round(result.energy_efficiency, 3),
+                "paper_tokens_per_s": PAPER_TABLE4_THROUGHPUT.get(platform.name),
+            }
+        )
+    return rows

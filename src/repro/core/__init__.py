@@ -1,0 +1,31 @@
+"""LightMamba co-design: the algorithm/hardware configurations tied together.
+
+The paper's contribution is the *co-design* of the quantization algorithm and
+the FPGA accelerator: the rotation-assisted + PoT quantization makes 4-bit
+inference accurate, and the accelerator (HTU, computation reordering,
+fine-grained tiling) makes exactly that quantization scheme fast.  This
+package exposes that pairing as a single object:
+
+- :class:`repro.core.config.CoDesignConfig` -- one configuration naming the
+  model, the quantization scheme and the accelerator design point, with the
+  paper's published design points as presets;
+- :class:`repro.core.pipeline.LightMambaPipeline` -- quantizes a model,
+  instantiates the matching accelerator and produces a combined report
+  (accuracy fidelity + throughput + energy + resources);
+- :mod:`repro.core.ablation` -- the Fig. 10 ablation driver that switches the
+  individual techniques on one by one.
+"""
+
+from repro.core.config import CoDesignConfig
+from repro.core.pipeline import CoDesignReport, LightMambaPipeline
+from repro.core.ablation import AblationStep, AblationResult, ABLATION_STEPS, run_hardware_ablation
+
+__all__ = [
+    "CoDesignConfig",
+    "CoDesignReport",
+    "LightMambaPipeline",
+    "AblationStep",
+    "AblationResult",
+    "ABLATION_STEPS",
+    "run_hardware_ablation",
+]

@@ -1,0 +1,176 @@
+"""The Fig. 10 ablation: adding LightMamba's techniques one at a time.
+
+Starting from an FP16 Mamba running on a naive sequential FPGA design, the
+ablation adds, in the paper's order:
+
+1. 4-bit weight quantization,
+2. 4-bit activation quantization (with the INT8 PoT SSM),
+3. rotation-assisted quantization with a naive matrix-multiply Hadamard,
+4. the FHT-based HTU,
+5. computation reordering (coarse-grained pipeline),
+6. fine-grained tiling and fusion.
+
+Each step is described by the accelerator-configuration overrides it applies
+and, for the accuracy column, by the quantization method / precision whose
+accuracy it corresponds to.  The hardware part of the ablation is cheap (the
+analytic model); the accuracy part requires evaluating quantized models on
+the reference setup and is therefore optional.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.hardware.accelerator import AcceleratorConfig, LightMambaAccelerator
+from repro.hardware.platforms import VCK190
+from repro.hardware.scheduler import ScheduleMode
+from repro.mamba.config import Mamba2Config, get_preset
+from repro.quant.qmodel import QuantConfig, QuantMethod
+
+__all__ = ["AblationStep", "AblationResult", "ABLATION_STEPS", "run_hardware_ablation"]
+
+
+@dataclass(frozen=True)
+class AblationStep:
+    """One row of Fig. 10.
+
+    ``accelerator_overrides`` are applied on top of the base VCK190
+    configuration; ``quant`` names the quantization configuration whose
+    accuracy the row reports (``None`` = the FP16 baseline).
+    """
+
+    name: str
+    accelerator_overrides: Dict[str, object]
+    quant: Optional[QuantConfig] = None
+    paper_tokens_per_s: Optional[float] = None
+    paper_accuracy: Optional[float] = None
+    paper_uram: Optional[int] = None
+
+
+#: The Fig. 10 steps with the paper's reported operating points attached
+#: (throughput on VCK190 in tokens/s, average zero-shot accuracy in %, URAM).
+ABLATION_STEPS: List[AblationStep] = [
+    AblationStep(
+        name="Original network (FP16)",
+        accelerator_overrides=dict(
+            weight_bits=16, act_bits=16, ssm_bits=16,
+            use_rotation=False, schedule=ScheduleMode.SEQUENTIAL,
+        ),
+        quant=None,
+        paper_tokens_per_s=2.23, paper_accuracy=60.2, paper_uram=228,
+    ),
+    AblationStep(
+        name="+ 4-bit weight quantization",
+        accelerator_overrides=dict(
+            weight_bits=4, act_bits=16, ssm_bits=16,
+            use_rotation=False, schedule=ScheduleMode.SEQUENTIAL,
+        ),
+        quant=QuantConfig(method=QuantMethod.RTN, w_bits=4, a_bits=16),
+        paper_tokens_per_s=3.19, paper_accuracy=57.6, paper_uram=228,
+    ),
+    AblationStep(
+        name="+ 4-bit activation quantization",
+        accelerator_overrides=dict(
+            weight_bits=4, act_bits=4, ssm_bits=8,
+            use_rotation=False, schedule=ScheduleMode.SEQUENTIAL,
+        ),
+        quant=QuantConfig.w4a4(QuantMethod.RTN),
+        paper_tokens_per_s=5.32, paper_accuracy=51.6, paper_uram=226,
+    ),
+    AblationStep(
+        name="+ rotation quantization (MM Hadamard)",
+        accelerator_overrides=dict(
+            use_rotation=True, use_fht=False, schedule=ScheduleMode.SEQUENTIAL,
+        ),
+        quant=QuantConfig.w4a4(QuantMethod.LIGHTMAMBA_STAR),
+        paper_tokens_per_s=2.92, paper_accuracy=55.9, paper_uram=262,
+    ),
+    AblationStep(
+        name="+ fast Hadamard transform unit",
+        accelerator_overrides=dict(
+            use_rotation=True, use_fht=True, schedule=ScheduleMode.SEQUENTIAL,
+        ),
+        quant=QuantConfig.w4a4(QuantMethod.LIGHTMAMBA_STAR),
+        paper_tokens_per_s=5.04, paper_accuracy=55.9, paper_uram=246,
+    ),
+    AblationStep(
+        name="+ computation reordering",
+        accelerator_overrides=dict(
+            use_rotation=True, use_fht=True, schedule=ScheduleMode.REORDERED,
+        ),
+        quant=QuantConfig.w4a4(QuantMethod.LIGHTMAMBA_STAR),
+        paper_tokens_per_s=7.21, paper_accuracy=55.9, paper_uram=246,
+    ),
+    AblationStep(
+        name="+ fine-grained tiling and fusion",
+        accelerator_overrides=dict(
+            use_rotation=True, use_fht=True, schedule=ScheduleMode.FINE_GRAINED,
+        ),
+        quant=QuantConfig.w4a4(QuantMethod.LIGHTMAMBA_STAR),
+        paper_tokens_per_s=7.21, paper_accuracy=55.9, paper_uram=61,
+    ),
+]
+
+
+@dataclass
+class AblationResult:
+    """Measured values of one ablation step."""
+
+    step: AblationStep
+    tokens_per_second: float
+    uram: int
+    accuracy: Optional[float] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        row: Dict[str, object] = {
+            "step": self.step.name,
+            "tokens_per_s": round(self.tokens_per_second, 2),
+            "uram": self.uram,
+        }
+        if self.step.paper_tokens_per_s is not None:
+            row["paper_tokens_per_s"] = self.step.paper_tokens_per_s
+        if self.step.paper_uram is not None:
+            row["paper_uram"] = self.step.paper_uram
+        if self.accuracy is not None:
+            row["accuracy_%"] = round(100.0 * self.accuracy, 1)
+        if self.step.paper_accuracy is not None:
+            row["paper_accuracy_%"] = self.step.paper_accuracy
+        return row
+
+
+def run_hardware_ablation(
+    model_config: Optional[Mamba2Config] = None,
+    base_config: Optional[AcceleratorConfig] = None,
+    accuracies: Optional[Dict[str, float]] = None,
+) -> List[AblationResult]:
+    """Evaluate the hardware side of every ablation step.
+
+    Parameters
+    ----------
+    model_config:
+        Target model (defaults to Mamba2-2.7B, as in the paper).
+    base_config:
+        Base accelerator configuration the step overrides are applied to
+        (defaults to the VCK190 design).
+    accuracies:
+        Optional mapping from step name to measured average task accuracy
+        (produced by the Table III machinery on the reference setup); attached
+        to the corresponding rows when present.
+    """
+    model_config = model_config or get_preset("mamba2-2.7b")
+    base_config = base_config or AcceleratorConfig(platform=VCK190)
+    accuracies = accuracies or {}
+    results = []
+    for step in ABLATION_STEPS:
+        config = base_config.with_overrides(**step.accelerator_overrides)
+        accelerator = LightMambaAccelerator(config, model_config)
+        results.append(
+            AblationResult(
+                step=step,
+                tokens_per_second=accelerator.tokens_per_second(),
+                uram=accelerator.uram_usage(),
+                accuracy=accuracies.get(step.name),
+            )
+        )
+    return results

@@ -1,0 +1,94 @@
+"""Co-design configuration: model + quantization + accelerator in one place."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.hardware.accelerator import AcceleratorConfig
+from repro.hardware.platforms import U280, VCK190
+from repro.hardware.scheduler import ScheduleMode
+from repro.mamba.config import Mamba2Config, get_preset
+from repro.quant.qmodel import QuantConfig, QuantMethod
+
+__all__ = ["CoDesignConfig"]
+
+
+@dataclass(frozen=True)
+class CoDesignConfig:
+    """One LightMamba design point.
+
+    Attributes
+    ----------
+    model_preset:
+        Name of the Mamba2 model the accelerator is sized for (the paper's
+        headline design targets ``mamba2-2.7b``).
+    quant:
+        The PTQ configuration applied to the model.
+    accelerator:
+        The FPGA design point.  Its precision fields are kept consistent with
+        the quantization configuration by :meth:`__post_init__`.
+    """
+
+    model_preset: str = "mamba2-2.7b"
+    quant: QuantConfig = field(default_factory=lambda: QuantConfig.w4a4(QuantMethod.LIGHTMAMBA_STAR))
+    accelerator: AcceleratorConfig = field(default_factory=AcceleratorConfig)
+
+    def __post_init__(self) -> None:
+        get_preset(self.model_preset)  # validate the preset name early
+        synced = self.accelerator.with_overrides(
+            weight_bits=self.quant.w_bits,
+            act_bits=self.quant.a_bits,
+            group_size=self.quant.group_size,
+            use_rotation=self.quant.method.uses_rotation,
+            ssm_bits=self.quant.ssm.bits if self.quant.method.quantizes_ssm else 16,
+            ssm_pot_requant=self.quant.ssm.pot_scale,
+        )
+        object.__setattr__(self, "accelerator", synced)
+
+    # ------------------------------------------------------------------
+    # Published design points (Table IV)
+    # ------------------------------------------------------------------
+    @classmethod
+    def vck190_w4a4(cls, model_preset: str = "mamba2-2.7b") -> "CoDesignConfig":
+        """The headline VCK190 design: W4A4 rotation-assisted + PoT SSM."""
+        return cls(
+            model_preset=model_preset,
+            quant=QuantConfig.w4a4(QuantMethod.LIGHTMAMBA_STAR),
+            accelerator=AcceleratorConfig(platform=VCK190, schedule=ScheduleMode.FINE_GRAINED),
+        )
+
+    @classmethod
+    def vck190_w8a8(cls, model_preset: str = "mamba2-2.7b") -> "CoDesignConfig":
+        """The W8A8 VCK190 design point of Table IV."""
+        return cls(
+            model_preset=model_preset,
+            quant=QuantConfig.w8a8(QuantMethod.LIGHTMAMBA_STAR),
+            accelerator=AcceleratorConfig(platform=VCK190, schedule=ScheduleMode.FINE_GRAINED),
+        )
+
+    @classmethod
+    def u280_w4a4(cls, model_preset: str = "mamba2-2.7b") -> "CoDesignConfig":
+        """The HBM-based U280 design point evaluated with the simulator."""
+        return cls(
+            model_preset=model_preset,
+            quant=QuantConfig.w4a4(QuantMethod.LIGHTMAMBA_STAR),
+            accelerator=AcceleratorConfig(platform=U280, schedule=ScheduleMode.FINE_GRAINED),
+        )
+
+    # ------------------------------------------------------------------
+    # Derived
+    # ------------------------------------------------------------------
+    @property
+    def model_config(self) -> Mamba2Config:
+        return get_preset(self.model_preset)
+
+    @property
+    def label(self) -> str:
+        return f"{self.model_preset} | {self.quant.label} | {self.accelerator.label}"
+
+    def with_quant(self, quant: QuantConfig) -> "CoDesignConfig":
+        return replace(self, quant=quant)
+
+    def with_accelerator(self, **overrides) -> "CoDesignConfig":
+        return replace(self, accelerator=self.accelerator.with_overrides(**overrides))

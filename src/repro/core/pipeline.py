@@ -1,0 +1,121 @@
+"""End-to-end co-design pipeline.
+
+:class:`LightMambaPipeline` ties the two halves of the reproduction together:
+
+1. *algorithm side*: quantize a (synthetic) Mamba2 model with the configured
+   PTQ method and measure its fidelity against the floating-point reference
+   (KL divergence, top-1 agreement, task accuracy when a task suite is
+   supplied);
+2. *hardware side*: instantiate the accelerator for the full-size target
+   model and report throughput, energy efficiency and resource usage.
+
+The combined :class:`CoDesignReport` is what the examples print and what the
+Table IV / Fig. 9 benchmarks consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import CoDesignConfig
+from repro.eval.harness import EvaluationReport, evaluate_model
+from repro.eval.metrics import mean_kl_divergence, top1_agreement
+from repro.eval.reference import ReferenceSetup
+from repro.hardware.accelerator import AcceleratorReport, LightMambaAccelerator
+from repro.mamba.model import Mamba2Model
+from repro.quant.qmodel import quantize_model
+
+__all__ = ["CoDesignReport", "LightMambaPipeline"]
+
+
+@dataclass
+class CoDesignReport:
+    """Combined algorithm + hardware evaluation of one design point."""
+
+    config_label: str
+    hardware: AcceleratorReport
+    fidelity: Dict[str, float] = field(default_factory=dict)
+    evaluation: Optional[EvaluationReport] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        row: Dict[str, object] = {"config": self.config_label}
+        row.update(self.hardware.as_dict())
+        row.update({f"fid_{k}": round(v, 4) for k, v in self.fidelity.items()})
+        if self.evaluation is not None:
+            row.update(self.evaluation.as_row())
+        return row
+
+
+class LightMambaPipeline:
+    """Quantize-and-deploy pipeline for one :class:`CoDesignConfig`."""
+
+    def __init__(self, config: CoDesignConfig):
+        self.config = config
+
+    # ------------------------------------------------------------------
+    # Algorithm side
+    # ------------------------------------------------------------------
+    def quantize(
+        self,
+        model: Mamba2Model,
+        calibration=None,
+        calib_sequences: Optional[Sequence[np.ndarray]] = None,
+    ) -> Mamba2Model:
+        """Quantize ``model`` with the configured PTQ method."""
+        return quantize_model(
+            model, self.config.quant, calibration=calibration, calib_sequences=calib_sequences
+        )
+
+    def fidelity(
+        self,
+        reference: Mamba2Model,
+        quantized: Mamba2Model,
+        sequences: Sequence[np.ndarray],
+    ) -> Dict[str, float]:
+        """Distribution-fidelity metrics of the quantized model."""
+        return {
+            "kl_divergence": mean_kl_divergence(reference, quantized, sequences),
+            "top1_agreement": top1_agreement(reference, quantized, sequences),
+        }
+
+    # ------------------------------------------------------------------
+    # Hardware side
+    # ------------------------------------------------------------------
+    def accelerator(self) -> LightMambaAccelerator:
+        """The accelerator sized for the full target model."""
+        return LightMambaAccelerator(self.config.accelerator, self.config.model_config)
+
+    # ------------------------------------------------------------------
+    # Combined
+    # ------------------------------------------------------------------
+    def run(self, setup: Optional[ReferenceSetup] = None, evaluate_tasks: bool = False) -> CoDesignReport:
+        """Produce the combined report.
+
+        Parameters
+        ----------
+        setup:
+            Optional reference evaluation setup; when given, the quantization
+            method is applied to the setup's synthetic model and fidelity
+            metrics (and optionally task accuracy) are included.
+        evaluate_tasks:
+            Also run the synthetic zero-shot task suite (slower).
+        """
+        hardware_report = self.accelerator().report()
+        fidelity: Dict[str, float] = {}
+        evaluation = None
+        if setup is not None:
+            quantized = self.quantize(setup.model, calibration=setup.calibration)
+            fidelity = self.fidelity(setup.model, quantized, setup.evaluation_sequences)
+            if evaluate_tasks:
+                evaluation = evaluate_model(
+                    quantized, setup.tasks, label=self.config.quant.label
+                )
+        return CoDesignReport(
+            config_label=self.config.label,
+            hardware=hardware_report,
+            fidelity=fidelity,
+            evaluation=evaluation,
+        )

@@ -1,0 +1,179 @@
+"""Synthetic token corpora.
+
+Three generators are provided:
+
+- :class:`ZipfCorpusGenerator` -- i.i.d. tokens with a Zipfian marginal, the
+  simplest stand-in for natural-language token statistics; used for
+  calibration (the paper calibrates on 128 random WikiText2 sequences).
+- :class:`MarkovCorpusGenerator` -- a first-order Markov chain with a random
+  sparse transition structure, providing sequential correlations.
+- :class:`ModelSampledCorpus` -- sequences sampled autoregressively from a
+  reference model; evaluating a quantized variant on such data measures how
+  much quantization perturbs the reference distribution, which is the
+  quantity behind the perplexity / accuracy deltas of Table III.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.mamba.model import Mamba2Model
+from repro.mamba.ops import softmax
+
+__all__ = [
+    "ZipfCorpusGenerator",
+    "MarkovCorpusGenerator",
+    "ModelSampledCorpus",
+    "split_into_sequences",
+]
+
+
+def split_into_sequences(tokens: np.ndarray, seq_len: int) -> List[np.ndarray]:
+    """Split a long token stream into full-length sequences (drop remainder)."""
+    tokens = np.asarray(tokens, dtype=np.int64)
+    if seq_len <= 0:
+        raise ValueError("seq_len must be positive")
+    n_full = len(tokens) // seq_len
+    return [tokens[i * seq_len : (i + 1) * seq_len] for i in range(n_full)]
+
+
+@dataclass(frozen=True)
+class ZipfCorpusGenerator:
+    """I.i.d. Zipf-distributed token stream.
+
+    Attributes
+    ----------
+    vocab_size:
+        Vocabulary size (tokens are ``0 .. vocab_size-1``).
+    exponent:
+        Zipf exponent; ~1.1 resembles natural-language unigram statistics.
+    """
+
+    vocab_size: int
+    exponent: float = 1.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.vocab_size < 2:
+            raise ValueError("vocab_size must be at least 2")
+        if self.exponent <= 0:
+            raise ValueError("exponent must be positive")
+
+    def _probabilities(self) -> np.ndarray:
+        ranks = np.arange(1, self.vocab_size + 1, dtype=np.float64)
+        weights = ranks ** (-self.exponent)
+        return weights / weights.sum()
+
+    def generate(self, num_tokens: int, seed: int | None = None) -> np.ndarray:
+        """Generate a token stream of the requested length."""
+        if num_tokens <= 0:
+            raise ValueError("num_tokens must be positive")
+        rng = np.random.default_rng(self.seed if seed is None else seed)
+        probs = self._probabilities()
+        # Shuffle the rank-to-token assignment so token id 0 is not always the
+        # most frequent token.
+        permutation = rng.permutation(self.vocab_size)
+        draws = rng.choice(self.vocab_size, size=num_tokens, p=probs)
+        return permutation[draws]
+
+    def sequences(self, num_sequences: int, seq_len: int, seed: int | None = None) -> List[np.ndarray]:
+        """Generate ``num_sequences`` independent sequences."""
+        stream = self.generate(num_sequences * seq_len, seed=seed)
+        return split_into_sequences(stream, seq_len)
+
+
+@dataclass(frozen=True)
+class MarkovCorpusGenerator:
+    """First-order Markov chain over the vocabulary.
+
+    Each token has ``branching`` likely successors (with Zipfian weights
+    among them) plus a small uniform smoothing mass, giving sequences with
+    realistic local predictability.
+    """
+
+    vocab_size: int
+    branching: int = 8
+    smoothing: float = 0.02
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.vocab_size < 2:
+            raise ValueError("vocab_size must be at least 2")
+        if not 1 <= self.branching <= self.vocab_size:
+            raise ValueError("branching must be in [1, vocab_size]")
+        if not 0.0 <= self.smoothing < 1.0:
+            raise ValueError("smoothing must be in [0, 1)")
+
+    def transition_matrix(self) -> np.ndarray:
+        """The (dense) row-stochastic transition matrix of the chain."""
+        rng = np.random.default_rng(self.seed)
+        matrix = np.full((self.vocab_size, self.vocab_size), self.smoothing / self.vocab_size)
+        ranks = np.arange(1, self.branching + 1, dtype=np.float64)
+        weights = ranks**-1.0
+        weights = (1.0 - self.smoothing) * weights / weights.sum()
+        for token in range(self.vocab_size):
+            successors = rng.choice(self.vocab_size, size=self.branching, replace=False)
+            matrix[token, successors] += weights
+        return matrix / matrix.sum(axis=1, keepdims=True)
+
+    def generate(self, num_tokens: int, seed: int | None = None) -> np.ndarray:
+        if num_tokens <= 0:
+            raise ValueError("num_tokens must be positive")
+        rng = np.random.default_rng((self.seed + 1) if seed is None else seed)
+        matrix = self.transition_matrix()
+        tokens = np.empty(num_tokens, dtype=np.int64)
+        tokens[0] = rng.integers(0, self.vocab_size)
+        for i in range(1, num_tokens):
+            tokens[i] = rng.choice(self.vocab_size, p=matrix[tokens[i - 1]])
+        return tokens
+
+    def sequences(self, num_sequences: int, seq_len: int, seed: int | None = None) -> List[np.ndarray]:
+        base = self.seed if seed is None else seed
+        return [
+            self.generate(seq_len, seed=base + 7919 * (i + 1)) for i in range(num_sequences)
+        ]
+
+
+@dataclass
+class ModelSampledCorpus:
+    """Sequences sampled autoregressively from a reference model."""
+
+    model: Mamba2Model
+    temperature: float = 0.9
+    top_k: int = 64
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.temperature <= 0:
+            raise ValueError("temperature must be positive")
+        if self.top_k <= 0:
+            raise ValueError("top_k must be positive")
+
+    def generate_sequence(self, seq_len: int, seed: int | None = None) -> np.ndarray:
+        """Sample one sequence of ``seq_len`` tokens (including the seed token)."""
+        if seq_len < 2:
+            raise ValueError("seq_len must be at least 2")
+        rng = np.random.default_rng(self.seed if seed is None else seed)
+        vocab = self.model.config.vocab_size
+        first = int(rng.integers(0, vocab))
+        tokens = [first]
+        logits, cache = self.model.prefill(np.array([first]))
+        for _ in range(seq_len - 1):
+            scaled = logits / self.temperature
+            if self.top_k < vocab:
+                kth = np.partition(scaled, -self.top_k)[-self.top_k]
+                scaled = np.where(scaled < kth, -np.inf, scaled)
+            probs = softmax(scaled)
+            token = int(rng.choice(vocab, p=probs))
+            tokens.append(token)
+            logits = self.model.step(token, cache)
+        return np.asarray(tokens, dtype=np.int64)
+
+    def sequences(self, num_sequences: int, seq_len: int) -> List[np.ndarray]:
+        return [
+            self.generate_sequence(seq_len, seed=self.seed + 104729 * (i + 1))
+            for i in range(num_sequences)
+        ]

@@ -1,0 +1,53 @@
+"""Fidelity metrics between a quantized model and its FP reference."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.mamba.model import Mamba2Model
+from repro.mamba.ops import softmax
+
+__all__ = ["top1_agreement", "mean_kl_divergence", "logit_mse"]
+
+
+def _stacked_logits(model: Mamba2Model, sequences: Sequence[np.ndarray]) -> np.ndarray:
+    outputs = []
+    for seq in sequences:
+        outputs.append(model.forward(np.asarray(seq, dtype=np.int64)))
+    return np.concatenate(outputs, axis=0)
+
+
+def top1_agreement(
+    reference: Mamba2Model, candidate: Mamba2Model, sequences: Sequence[np.ndarray]
+) -> float:
+    """Fraction of positions where both models pick the same next token."""
+    if not sequences:
+        raise ValueError("at least one sequence is required")
+    ref = _stacked_logits(reference, sequences)
+    cand = _stacked_logits(candidate, sequences)
+    return float(np.mean(np.argmax(ref, axis=1) == np.argmax(cand, axis=1)))
+
+
+def mean_kl_divergence(
+    reference: Mamba2Model, candidate: Mamba2Model, sequences: Sequence[np.ndarray]
+) -> float:
+    """Mean KL(reference || candidate) of the next-token distributions (nats)."""
+    if not sequences:
+        raise ValueError("at least one sequence is required")
+    ref = softmax(_stacked_logits(reference, sequences), axis=-1)
+    cand = softmax(_stacked_logits(candidate, sequences), axis=-1)
+    kl = np.sum(ref * (np.log(ref + 1e-12) - np.log(cand + 1e-12)), axis=1)
+    return float(np.mean(kl))
+
+
+def logit_mse(
+    reference: Mamba2Model, candidate: Mamba2Model, sequences: Sequence[np.ndarray]
+) -> float:
+    """Mean squared difference of the raw logits."""
+    if not sequences:
+        raise ValueError("at least one sequence is required")
+    ref = _stacked_logits(reference, sequences)
+    cand = _stacked_logits(candidate, sequences)
+    return float(np.mean((ref - cand) ** 2))

@@ -1,0 +1,42 @@
+"""Perplexity evaluation."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.mamba.model import Mamba2Model
+from repro.mamba.ops import cross_entropy
+
+__all__ = ["sequence_cross_entropy", "perplexity"]
+
+
+def sequence_cross_entropy(model: Mamba2Model, tokens: np.ndarray) -> float:
+    """Mean next-token cross entropy (nats) of one sequence."""
+    tokens = np.asarray(tokens, dtype=np.int64)
+    if tokens.ndim != 1 or tokens.shape[0] < 2:
+        raise ValueError("a sequence of at least two tokens is required")
+    logits = model.forward(tokens[:-1])
+    return cross_entropy(logits, tokens[1:])
+
+
+def perplexity(model: Mamba2Model, sequences: Sequence[np.ndarray]) -> float:
+    """Token-weighted perplexity over a set of sequences.
+
+    This is the metric of the LAMBADA-ppl column of Table III: lower is
+    better, and the *difference* between a quantized model and its FP
+    reference measures the quantization damage.
+    """
+    if not sequences:
+        raise ValueError("at least one sequence is required")
+    total_nats = 0.0
+    total_tokens = 0
+    for seq in sequences:
+        seq = np.asarray(seq, dtype=np.int64)
+        n_predictions = seq.shape[0] - 1
+        if n_predictions < 1:
+            raise ValueError("every sequence needs at least two tokens")
+        total_nats += sequence_cross_entropy(model, seq) * n_predictions
+        total_tokens += n_predictions
+    return float(np.exp(total_nats / total_tokens))

@@ -1,0 +1,229 @@
+"""Synthetic zero-shot task suite.
+
+The paper evaluates on six zero-shot tasks (LAMBADA, HellaSwag, PIQA, ARC
+Easy/Challenge, Winogrande, OpenbookQA) through lm-eval-harness; all of them
+reduce to *ranking a small set of candidate continuations* of a context by
+model log-likelihood.  The synthetic stand-ins here keep exactly that
+structure without needing pretrained checkpoints or the datasets:
+
+- the *context* comes from an external (Zipf) token source, so it does not
+  collapse into the model's own high-confidence attractor;
+- the *gold continuation* is sampled from the floating-point reference model
+  at a **low** temperature (a likely continuation under the reference
+  distribution);
+- the *distractor continuations* are sampled from the same reference
+  distribution at a **high** temperature (plausible but less likely).
+
+The reference model therefore ranks the gold highest most -- but not all --
+of the time (accuracy well above chance, below 100%), exactly like a real LLM
+on a real benchmark.  A quantized model perturbs the distribution the
+candidates were generated from, so its ranking decorrelates from the
+generation process and its accuracy drops toward chance in proportion to the
+quantization damage -- the same quantity the accuracy columns of Table III
+measure.  Each paper task maps to a :class:`TaskSpec` that varies the number
+of candidates, the continuation length and the gold/distractor temperature
+gap (binary-choice Winogrande / PIQA, 4-way ARC and HellaSwag with multi-token
+continuations, many-way LAMBADA-style next-token prediction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.eval.data import ZipfCorpusGenerator
+from repro.mamba.model import Mamba2Model
+from repro.mamba.ops import softmax
+
+__all__ = ["TaskExample", "SyntheticTask", "TaskSpec", "DEFAULT_TASK_SPECS", "build_task_suite"]
+
+
+@dataclass
+class TaskExample:
+    """One ranking example: a context and candidate continuations."""
+
+    context: np.ndarray
+    candidates: List[np.ndarray]
+    gold_index: int
+
+    def __post_init__(self) -> None:
+        self.context = np.asarray(self.context, dtype=np.int64)
+        self.candidates = [np.asarray(c, dtype=np.int64) for c in self.candidates]
+        if not 0 <= self.gold_index < len(self.candidates):
+            raise ValueError("gold_index out of range")
+        if len(self.candidates) < 2:
+            raise ValueError("an example needs at least two candidates")
+
+
+@dataclass
+class SyntheticTask:
+    """A named set of ranking examples."""
+
+    name: str
+    examples: List[TaskExample]
+
+    def __len__(self) -> int:
+        return len(self.examples)
+
+    @property
+    def chance_accuracy(self) -> float:
+        """Expected accuracy of random guessing."""
+        if not self.examples:
+            return 0.0
+        return float(np.mean([1.0 / len(ex.candidates) for ex in self.examples]))
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """Generation recipe of one synthetic task.
+
+    Attributes
+    ----------
+    name:
+        Task name (mirrors the paper's benchmark it stands in for).
+    num_candidates:
+        Candidates per example (gold + distractors).
+    continuation_len:
+        Tokens per candidate continuation.
+    context_len:
+        Length of the externally-generated context.
+    gold_temperature / distractor_temperature:
+        Sampling temperatures of the gold and distractor continuations; a
+        smaller gap makes the task harder (reference accuracy closer to
+        chance) and more sensitive to quantization damage.
+    """
+
+    name: str
+    num_candidates: int = 4
+    continuation_len: int = 2
+    context_len: int = 16
+    gold_temperature: float = 0.7
+    distractor_temperature: float = 1.4
+
+    def __post_init__(self) -> None:
+        if self.num_candidates < 2:
+            raise ValueError("num_candidates must be at least 2")
+        if self.continuation_len < 1 or self.context_len < 2:
+            raise ValueError("continuation_len >= 1 and context_len >= 2 required")
+        if self.gold_temperature <= 0 or self.distractor_temperature <= 0:
+            raise ValueError("temperatures must be positive")
+        if self.gold_temperature >= self.distractor_temperature:
+            raise ValueError("gold_temperature must be below distractor_temperature")
+
+
+#: The six zero-shot benchmarks of Table III mapped onto synthetic specs.
+DEFAULT_TASK_SPECS: List[TaskSpec] = [
+    TaskSpec(name="lambada-syn", num_candidates=8, continuation_len=1, context_len=24,
+             gold_temperature=0.6, distractor_temperature=1.6),
+    TaskSpec(name="hellaswag-syn", num_candidates=4, continuation_len=4, context_len=16,
+             gold_temperature=0.8, distractor_temperature=1.3),
+    TaskSpec(name="piqa-syn", num_candidates=2, continuation_len=3, context_len=12,
+             gold_temperature=0.7, distractor_temperature=1.4),
+    TaskSpec(name="arc-easy-syn", num_candidates=4, continuation_len=2, context_len=16,
+             gold_temperature=0.6, distractor_temperature=1.6),
+    TaskSpec(name="arc-challenge-syn", num_candidates=4, continuation_len=2, context_len=16,
+             gold_temperature=0.9, distractor_temperature=1.2),
+    TaskSpec(name="winogrande-syn", num_candidates=2, continuation_len=2, context_len=14,
+             gold_temperature=0.8, distractor_temperature=1.25),
+    TaskSpec(name="openbookqa-syn", num_candidates=4, continuation_len=3, context_len=18,
+             gold_temperature=0.85, distractor_temperature=1.25),
+]
+
+
+def _sample_token(
+    rng: np.random.Generator,
+    logits: np.ndarray,
+    temperature: float,
+    exclude: tuple = (),
+    top_k: int = 64,
+) -> int:
+    scaled = np.array(logits, dtype=np.float64) / temperature
+    for token in exclude:
+        scaled[token] = -np.inf
+    if top_k < scaled.shape[-1]:
+        kth = np.partition(scaled, -top_k)[-top_k]
+        scaled = np.where(scaled < kth, -np.inf, scaled)
+    probs = softmax(scaled)
+    return int(rng.choice(len(probs), p=probs))
+
+
+def _build_example(
+    model: Mamba2Model,
+    spec: TaskSpec,
+    context: np.ndarray,
+    rng: np.random.Generator,
+) -> TaskExample:
+    logits, cache = model.prefill(context)
+
+    # Candidate start tokens: the gold at the low temperature, distractors at
+    # the high temperature, all distinct.
+    starts = [_sample_token(rng, logits, spec.gold_temperature)]
+    for _ in range(spec.num_candidates - 1):
+        starts.append(
+            _sample_token(rng, logits, spec.distractor_temperature, exclude=tuple(starts))
+        )
+
+    candidates = []
+    for position, start in enumerate(starts):
+        temperature = spec.gold_temperature if position == 0 else spec.distractor_temperature
+        branch = cache.copy()
+        tokens = [start]
+        current = model.step(start, branch)
+        for _ in range(spec.continuation_len - 1):
+            token = _sample_token(rng, current, temperature)
+            tokens.append(token)
+            current = model.step(token, branch)
+        candidates.append(np.asarray(tokens, dtype=np.int64))
+
+    order = rng.permutation(len(candidates))
+    gold_index = int(np.where(order == 0)[0][0])
+    return TaskExample(
+        context=context,
+        candidates=[candidates[i] for i in order],
+        gold_index=gold_index,
+    )
+
+
+def build_task_suite(
+    reference_model: Mamba2Model,
+    num_examples: int = 24,
+    specs: Optional[List[TaskSpec]] = None,
+    seed: int = 0,
+    context_generator: Optional[ZipfCorpusGenerator] = None,
+) -> List[SyntheticTask]:
+    """Build the synthetic zero-shot suite from a floating-point reference.
+
+    Parameters
+    ----------
+    reference_model:
+        The FP model that defines the candidate distribution (the same model
+        whose quantized variants will be evaluated).
+    num_examples:
+        Examples per task.
+    specs:
+        Task recipes; defaults to :data:`DEFAULT_TASK_SPECS`.
+    seed:
+        Seed controlling every sampled context / continuation.
+    context_generator:
+        Source of the contexts; defaults to a Zipf generator over the model's
+        vocabulary.
+    """
+    if num_examples <= 0:
+        raise ValueError("num_examples must be positive")
+    specs = specs if specs is not None else DEFAULT_TASK_SPECS
+    context_generator = context_generator or ZipfCorpusGenerator(
+        reference_model.config.vocab_size, seed=seed
+    )
+    suite = []
+    for spec_idx, spec in enumerate(specs):
+        rng = np.random.default_rng(seed + 15_485_863 * (spec_idx + 1))
+        examples = []
+        for example_idx in range(num_examples):
+            context = context_generator.generate(
+                spec.context_len, seed=seed + 7919 * (spec_idx + 1) + example_idx
+            )
+            examples.append(_build_example(reference_model, spec, context, rng))
+        suite.append(SyntheticTask(name=spec.name, examples=examples))
+    return suite

@@ -1,0 +1,93 @@
+"""FPGA accelerator model, GPU baselines and prior-art accelerator models.
+
+This package reproduces the hardware side of LightMamba (Sec. V of the
+paper): a partially-unrolled spatial architecture with three main units --
+the Matrix Multiplication Unit (MMU), the SSM Unit (SSMU) and the Hadamard
+Transform Unit (HTU) -- connected to off-chip DRAM, plus the scheduling
+optimisations (computation reordering and fine-grained tiling/fusion) that
+Fig. 6 / Fig. 7 describe.
+
+Two modelling granularities are provided:
+
+- *tick-accurate* simulation of the SSMU / HTU pipelines
+  (:mod:`repro.hardware.pipeline`), used to validate FIFO sizing, pipeline
+  balance and the FHT-vs-matrix-multiply latency claim;
+- an *analytic phase-level* model (:mod:`repro.hardware.accelerator`) that
+  composes per-layer compute and DRAM-transfer cycles into per-token decode
+  latency for full-size models, calibrated against the published VCK190 /
+  U280 operating points (Table IV).
+
+GPU baselines (:mod:`repro.hardware.gpu`) use a bandwidth-roofline decode
+model; prior FPGA accelerators (:mod:`repro.hardware.baselines`) are modelled
+from the parameters reported in their papers, as the LightMamba authors did.
+"""
+
+from repro.hardware.platforms import (
+    FPGAPlatform,
+    GPUPlatform,
+    VCK190,
+    U280,
+    RTX2070,
+    RTX4090,
+    get_platform,
+)
+from repro.hardware.resources import ResourceUsage, ResourceReport
+from repro.hardware.dsp import dsp_packing_factor, dsps_for_macs
+from repro.hardware.memory import DramInterface, OnChipBufferModel, BufferAllocation
+from repro.hardware.fifo import Fifo
+from repro.hardware.emu import EMUConfig, ElementwiseMultiplyUnit, ssm_operator_costs
+from repro.hardware.mmu import MMUConfig, MatrixMultiplyUnit
+from repro.hardware.htu import HTUConfig, HadamardTransformUnit, matrix_hadamard_latency
+from repro.hardware.ssmu import SSMUConfig, SSMUnit
+from repro.hardware.scheduler import ScheduleMode, BlockSchedule, schedule_block
+from repro.hardware.accelerator import AcceleratorConfig, LightMambaAccelerator, AcceleratorReport
+from repro.hardware.power import FPGAPowerModel, energy_efficiency
+from repro.hardware.gpu import GPUDecodeModel, GPUResult
+from repro.hardware.baselines import (
+    PriorAccelerator,
+    FLIGHTLLM,
+    DFX,
+    ARCHITECTURE_COMPARISON,
+)
+
+__all__ = [
+    "FPGAPlatform",
+    "GPUPlatform",
+    "VCK190",
+    "U280",
+    "RTX2070",
+    "RTX4090",
+    "get_platform",
+    "ResourceUsage",
+    "ResourceReport",
+    "dsp_packing_factor",
+    "dsps_for_macs",
+    "DramInterface",
+    "OnChipBufferModel",
+    "BufferAllocation",
+    "Fifo",
+    "EMUConfig",
+    "ElementwiseMultiplyUnit",
+    "ssm_operator_costs",
+    "MMUConfig",
+    "MatrixMultiplyUnit",
+    "HTUConfig",
+    "HadamardTransformUnit",
+    "matrix_hadamard_latency",
+    "SSMUConfig",
+    "SSMUnit",
+    "ScheduleMode",
+    "BlockSchedule",
+    "schedule_block",
+    "AcceleratorConfig",
+    "LightMambaAccelerator",
+    "AcceleratorReport",
+    "FPGAPowerModel",
+    "energy_efficiency",
+    "GPUDecodeModel",
+    "GPUResult",
+    "PriorAccelerator",
+    "FLIGHTLLM",
+    "DFX",
+    "ARCHITECTURE_COMPARISON",
+]

@@ -1,0 +1,142 @@
+"""Prior-art FPGA accelerator baselines and the Table I architecture comparison.
+
+The paper compares against FlightLLM (FPGA'24) and DFX (MICRO'22), both
+Transformer accelerators; since neither supports Mamba, the comparison runs
+them on the Transformer LLMs of their own papers and, like the LightMamba
+authors, models their long-sequence behaviour from the parameters each paper
+reports ("we simulated their performance based on the parameters in each
+paper").  The dominant effect for the Fig. 9a curves is the KV cache: a
+Transformer decoder must stream the cache of all previous tokens for every
+new token, so throughput decays with the generated length, while Mamba's
+fixed-size state keeps LightMamba (and the Mamba GPU baseline) flat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+__all__ = ["PriorAccelerator", "FLIGHTLLM", "DFX", "ARCHITECTURE_COMPARISON"]
+
+
+@dataclass(frozen=True)
+class PriorAccelerator:
+    """Analytic model of a prior Transformer accelerator.
+
+    Attributes
+    ----------
+    name, platform, model:
+        Identification of the published design point.
+    num_parameters:
+        Parameters of the LLM it runs.
+    weight_bits:
+        Weight precision of the published design.
+    base_tokens_per_second:
+        Published short-sequence decode throughput.
+    kv_bytes_per_token_per_layer / n_layer:
+        KV-cache geometry of the evaluated model (FP16 K and V vectors).
+    memory_bandwidth_bytes_per_s:
+        Off-chip bandwidth available for streaming the KV cache.
+    architecture:
+        "temporal" or "spatial" (Table I).
+    """
+
+    name: str
+    platform: str
+    model: str
+    num_parameters: float
+    weight_bits: float
+    base_tokens_per_second: float
+    kv_bytes_per_token_per_layer: float
+    n_layer: int
+    memory_bandwidth_bytes_per_s: float
+    architecture: str
+
+    @property
+    def kv_bytes_per_token(self) -> float:
+        """KV-cache bytes appended (and re-read) per generated token."""
+        return self.kv_bytes_per_token_per_layer * self.n_layer
+
+    def tokens_per_second(self, output_tokens: int) -> float:
+        """Average decode throughput over a generation of ``output_tokens``.
+
+        The base (published) throughput is degraded by the time spent
+        streaming the growing KV cache, averaged over the run.
+        """
+        if output_tokens <= 0:
+            raise ValueError("output_tokens must be positive")
+        base_time = 1.0 / self.base_tokens_per_second
+        avg_position = (output_tokens - 1) / 2.0
+        kv_time = avg_position * self.kv_bytes_per_token / self.memory_bandwidth_bytes_per_s
+        return 1.0 / (base_time + kv_time)
+
+
+#: FlightLLM (FPGA'24) running LLaMA2-7B on an Alveo U280 with ~3.5-bit
+#: weights; short-sequence decode throughput and HBM bandwidth from its paper.
+FLIGHTLLM = PriorAccelerator(
+    name="FlightLLM",
+    platform="U280",
+    model="LLaMA2-7B",
+    num_parameters=7e9,
+    weight_bits=3.5,
+    base_tokens_per_second=55.0,
+    kv_bytes_per_token_per_layer=2 * 4096 * 2.0,  # K and V vectors, FP16
+    n_layer=32,
+    memory_bandwidth_bytes_per_s=460e9,
+    architecture="temporal",
+)
+
+#: DFX (MICRO'22): a multi-FPGA (4x U280) appliance running GPT2-1.5B in FP16.
+DFX = PriorAccelerator(
+    name="DFX",
+    platform="4x U280",
+    model="GPT2-1.5B",
+    num_parameters=1.5e9,
+    weight_bits=16.0,
+    base_tokens_per_second=71.0,
+    kv_bytes_per_token_per_layer=2 * 1600 * 2.0,
+    n_layer=48,
+    memory_bandwidth_bytes_per_s=4 * 460e9,
+    architecture="temporal",
+)
+
+
+#: Qualitative architecture comparison of Table I.
+ARCHITECTURE_COMPARISON: List[Dict[str, str]] = [
+    {
+        "design": "Chen et al. (spatial)",
+        "architecture": "Spatial",
+        "model": "Transformer",
+        "bit_precision": "W4A8",
+        "latency": "Low",
+        "em_compatibility": "yes",
+        "mm_parallelism": "Mid",
+    },
+    {
+        "design": "FlightLLM",
+        "architecture": "Temporal",
+        "model": "Transformer",
+        "bit_precision": "W3.5A8 or FP16",
+        "latency": "High",
+        "em_compatibility": "no",
+        "mm_parallelism": "High",
+    },
+    {
+        "design": "DFX",
+        "architecture": "Temporal",
+        "model": "Transformer",
+        "bit_precision": "FP16",
+        "latency": "High",
+        "em_compatibility": "no",
+        "mm_parallelism": "High",
+    },
+    {
+        "design": "LightMamba (ours)",
+        "architecture": "Partial Spatial",
+        "model": "Mamba",
+        "bit_precision": "W4A4",
+        "latency": "Low",
+        "em_compatibility": "yes",
+        "mm_parallelism": "High",
+    },
+]

@@ -1,0 +1,47 @@
+"""DSP-slice cost model with INT8 DSP packing.
+
+The paper's MMU implements ``din x dout`` multiply-accumulates with
+``din x dout / 2`` DSP48 slices by packing two low-precision multiplications
+that share one operand into a single DSP (Fig. 5b, following the Xilinx INT8
+optimisation white paper).  The packing factor is therefore 2 for INT8 and
+below; FP16 arithmetic needs roughly two DSP slices per multiplier instead.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["dsp_packing_factor", "dsps_for_macs", "DSP_PER_FP16_MAC"]
+
+#: Effective DSP slices per sustained FP16 multiply-accumulate when the FP16
+#: path is mapped onto the integer-packed MMU datapath: the packing is lost
+#: (2x) and the mantissa multiply plus alignment occupies a DSP pair at half
+#: the initiation rate (2x), i.e. a quarter of the packed INT8 MAC rate.
+DSP_PER_FP16_MAC = 4.0
+
+
+def dsp_packing_factor(weight_bits: int, act_bits: int) -> float:
+    """How many integer MACs one DSP slice performs per cycle.
+
+    Two MACs sharing an activation operand are packed per DSP for widths of
+    8 bits and below (the technique the paper uses for both W8A8 and W4A4);
+    wider integer formats use one DSP per MAC.
+    """
+    if weight_bits <= 0 or act_bits <= 0:
+        raise ValueError("bit widths must be positive")
+    if max(weight_bits, act_bits) <= 8:
+        return 2.0
+    if max(weight_bits, act_bits) <= 18:
+        return 1.0
+    return 0.5
+
+
+def dsps_for_macs(num_macs: int, weight_bits: int, act_bits: int) -> int:
+    """DSP slices needed to perform ``num_macs`` MACs per cycle."""
+    if num_macs < 0:
+        raise ValueError("num_macs must be non-negative")
+    if num_macs == 0:
+        return 0
+    if weight_bits >= 16 and act_bits >= 16:
+        return math.ceil(num_macs * DSP_PER_FP16_MAC)
+    return math.ceil(num_macs / dsp_packing_factor(weight_bits, act_bits))

@@ -1,0 +1,164 @@
+"""Element-wise Multiplication Units (EMUs) and the SSM re-quantization cost.
+
+The SSMU implements every SSM operator with a dedicated EMU (Fig. 5c).  Each
+EMU has a number of parallel lanes; one lane performs one element-wise
+multiplication per cycle plus the re-quantization of its output back to the
+storage precision.  The re-quantization dominates the cost difference studied
+in Fig. 3:
+
+- with an arbitrary (non-PoT) scale, each lane needs an extra DSP multiplier
+  and rounding/clamping logic;
+- with a power-of-two scale, the re-quantization is a bit shift implemented
+  in a few LUTs.
+
+FP16 lanes (the unquantized-SSM baseline of prior works) cost roughly two DSP
+slices per lane plus alignment logic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.hardware.dsp import dsps_for_macs
+from repro.hardware.resources import ResourceUsage
+
+__all__ = ["EMUConfig", "ElementwiseMultiplyUnit", "ssm_operator_costs", "SSM_OPERATOR_SHAPES"]
+
+
+# Cost constants per lane (calibrated to the magnitudes reported in Fig. 3).
+_LUT_PER_INT_MULT_LANE = 180        # operand registers, control
+_LUT_PER_FP16_LANE = 900            # FP16 multiplier built of DSP + LUT glue
+_LUT_REQUANT_NON_POT = 950          # multiplier alignment, rounding, clamp
+_LUT_REQUANT_POT = 170              # shift + clamp
+_FF_PER_LANE = 220
+_DSP_REQUANT_NON_POT = 1.0          # rescale multiplier per lane
+
+
+@dataclass(frozen=True)
+class EMUConfig:
+    """Configuration of one element-wise multiplication unit.
+
+    Attributes
+    ----------
+    name:
+        Operator name (e.g. ``"B_mul_x"``).
+    lanes:
+        Parallel multipliers.
+    bits:
+        Operand precision (8 for the quantized SSM, 16 for the FP baseline).
+    pot_requant:
+        Whether re-quantization uses power-of-two (shift) scaling.
+    requantize:
+        Whether the output is re-quantized at all (FP accumulation skips it).
+    """
+
+    name: str
+    lanes: int
+    bits: int = 8
+    pot_requant: bool = True
+    requantize: bool = True
+
+    def __post_init__(self) -> None:
+        if self.lanes <= 0:
+            raise ValueError("lanes must be positive")
+        if self.bits not in (4, 8, 16):
+            raise ValueError("bits must be 4, 8 or 16")
+
+
+@dataclass(frozen=True)
+class ElementwiseMultiplyUnit:
+    """Resource and timing model of one EMU."""
+
+    config: EMUConfig
+
+    def resources(self) -> ResourceUsage:
+        cfg = self.config
+        if cfg.bits == 16:
+            dsp = 2.0 * cfg.lanes
+            lut = _LUT_PER_FP16_LANE * cfg.lanes
+        else:
+            dsp = float(dsps_for_macs(cfg.lanes, cfg.bits, cfg.bits))
+            lut = _LUT_PER_INT_MULT_LANE * cfg.lanes
+        if cfg.requantize and cfg.bits != 16:
+            if cfg.pot_requant:
+                lut += _LUT_REQUANT_POT * cfg.lanes
+            else:
+                lut += _LUT_REQUANT_NON_POT * cfg.lanes
+                dsp += _DSP_REQUANT_NON_POT * cfg.lanes
+        return ResourceUsage(lut=lut, ff=_FF_PER_LANE * cfg.lanes, dsp=dsp)
+
+    def cycles(self, num_elements: int) -> int:
+        """Cycles to process ``num_elements`` element-wise products."""
+        if num_elements < 0:
+            raise ValueError("num_elements must be non-negative")
+        return math.ceil(num_elements / self.config.lanes)
+
+
+#: Element count of each SSM operator per decode token, as a function of the
+#: model dimensions ``(nheads h, headdim p, d_state n)`` -- matching the
+#: operator boxes of Fig. 1 and the bars of Fig. 3.
+SSM_OPERATOR_SHAPES = {
+    "delta_mul_A": lambda h, p, n: h,
+    "delta_mul_B": lambda h, p, n: h * n,
+    "B_mul_x": lambda h, p, n: h * p * n,
+    "A_mul_h": lambda h, p, n: h * p * n,
+    "h_mul_C": lambda h, p, n: h * p * n,
+    "x_mul_D": lambda h, p, n: h * p,
+}
+
+#: Default per-operator lane counts of the VCK190 SSMU (Fig. 5c: the small
+#: head-sized operators use a single-lane 8-bit EMU, the state-sized
+#: operators use two-lane EMUs).  The SSMU is deliberately narrow -- under the
+#: reordered schedule it only has to keep up with the DRAM-bound MMU.
+DEFAULT_SSM_PARALLELISM = {
+    "delta_mul_A": 1,
+    "delta_mul_B": 1,
+    "B_mul_x": 2,
+    "A_mul_h": 2,
+    "h_mul_C": 2,
+    "x_mul_D": 1,
+}
+
+#: Lane counts used for the per-operator cost study of Fig. 3, which sizes
+#: each operator's EMU at the throughput needed to keep the SSM off the
+#: critical path of a compute-bound design.
+FIG3_SSM_PARALLELISM = {
+    "delta_mul_A": 8,
+    "delta_mul_B": 8,
+    "B_mul_x": 16,
+    "A_mul_h": 16,
+    "h_mul_C": 16,
+    "x_mul_D": 8,
+}
+
+
+def ssm_operator_costs(
+    bits: int = 8,
+    pot_requant: bool = True,
+    parallelism: Dict[str, int] | None = None,
+) -> Dict[str, ResourceUsage]:
+    """Per-operator EMU resource usage (the bars of Fig. 3).
+
+    Parameters
+    ----------
+    bits:
+        Operand precision (8 = quantized SSM, 16 = FP baseline).
+    pot_requant:
+        Power-of-two re-quantization (the paper's scheme) versus naive
+        multiplier-based re-quantization.
+    parallelism:
+        Optional per-operator lane override; defaults to the Fig. 3 sizing
+        (:data:`FIG3_SSM_PARALLELISM`).
+    """
+    lanes = dict(FIG3_SSM_PARALLELISM)
+    if parallelism:
+        lanes.update(parallelism)
+    costs = {}
+    for op in SSM_OPERATOR_SHAPES:
+        emu = ElementwiseMultiplyUnit(
+            EMUConfig(name=op, lanes=lanes[op], bits=bits, pot_requant=pot_requant)
+        )
+        costs[op] = emu.resources()
+    return costs

@@ -1,0 +1,75 @@
+"""A simple FIFO model for the tick-accurate pipeline simulations.
+
+The SSMU connects its operator units through FIFOs (Fig. 5c); the HTU stages
+likewise buffer half-blocks of the butterfly network (Fig. 5d).  The model
+tracks occupancy so pipeline-balance tests can verify that the chosen
+per-operator parallelism keeps FIFO depths small (the paper: "a balanced data
+flow with a minimum FIFO depth").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Fifo"]
+
+
+@dataclass
+class Fifo:
+    """Bounded FIFO tracking element counts (not values).
+
+    Attributes
+    ----------
+    name:
+        Identifier used in reports.
+    capacity:
+        Maximum number of elements held.
+    """
+
+    name: str
+    capacity: int
+    occupancy: int = 0
+    max_occupancy: int = 0
+    total_pushed: int = 0
+    total_popped: int = 0
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValueError("FIFO capacity must be positive")
+
+    @property
+    def free_space(self) -> int:
+        return self.capacity - self.occupancy
+
+    @property
+    def is_empty(self) -> bool:
+        return self.occupancy == 0
+
+    @property
+    def is_full(self) -> bool:
+        return self.occupancy >= self.capacity
+
+    def push(self, count: int = 1) -> int:
+        """Push up to ``count`` elements; returns how many were accepted."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        accepted = min(count, self.free_space)
+        self.occupancy += accepted
+        self.total_pushed += accepted
+        self.max_occupancy = max(self.max_occupancy, self.occupancy)
+        return accepted
+
+    def pop(self, count: int = 1) -> int:
+        """Pop up to ``count`` elements; returns how many were removed."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        removed = min(count, self.occupancy)
+        self.occupancy -= removed
+        self.total_popped += removed
+        return removed
+
+    def reset(self) -> None:
+        self.occupancy = 0
+        self.max_occupancy = 0
+        self.total_pushed = 0
+        self.total_popped = 0

@@ -1,0 +1,109 @@
+"""GPU decode baseline (roofline model).
+
+Single-batch autoregressive LLM decode on a GPU is memory-bandwidth bound:
+every weight is read once per generated token, so
+
+    tokens/s  =  bandwidth x utilisation / bytes_per_token
+
+with ``bytes_per_token = parameters x bytes_per_parameter`` for Mamba (whose
+recurrent state is negligible) plus, for Transformer baselines, the KV-cache
+bytes that grow with the generated sequence length.  The utilisation factor
+is the fraction of peak bandwidth a decode kernel achieves in practice; the
+published RTX 2070 / RTX 4090 numbers of Table IV (65 and 138 tokens/s for
+Mamba2-2.7B in FP16) correspond to roughly 75%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.platforms import GPUPlatform, RTX2070
+from repro.mamba.config import Mamba2Config
+
+__all__ = ["GPUDecodeModel", "GPUResult"]
+
+
+@dataclass(frozen=True)
+class GPUResult:
+    """Decode performance of a GPU baseline."""
+
+    platform: str
+    model: str
+    tokens_per_second: float
+    power_w: float
+
+    @property
+    def energy_efficiency(self) -> float:
+        """Tokens per joule."""
+        return self.tokens_per_second / self.power_w
+
+
+@dataclass(frozen=True)
+class GPUDecodeModel:
+    """Bandwidth-roofline decode model for a GPU platform.
+
+    Attributes
+    ----------
+    platform:
+        GPU specification (bandwidth, board power, achievable utilisation).
+    bytes_per_parameter:
+        Weight storage precision (2.0 for the FP16 baselines of the paper).
+    kernel_overhead_s:
+        Fixed per-token launch/synchronisation overhead; matters only for
+        very small models.
+    """
+
+    platform: GPUPlatform = RTX2070
+    bytes_per_parameter: float = 2.0
+    kernel_overhead_s: float = 2.0e-4
+
+    def bytes_per_token(
+        self,
+        num_parameters: float,
+        kv_bytes_per_token: float = 0.0,
+        sequence_position: int = 0,
+    ) -> float:
+        """DRAM traffic to produce one token at a given sequence position."""
+        if num_parameters <= 0:
+            raise ValueError("num_parameters must be positive")
+        return num_parameters * self.bytes_per_parameter + kv_bytes_per_token * sequence_position
+
+    def decode_tokens_per_second(
+        self,
+        num_parameters: float,
+        kv_bytes_per_token: float = 0.0,
+        sequence_position: int = 0,
+    ) -> float:
+        """Sustained decode throughput at one sequence position."""
+        traffic = self.bytes_per_token(num_parameters, kv_bytes_per_token, sequence_position)
+        effective_bw = (
+            self.platform.dram_bandwidth_bytes_per_s * self.platform.mem_bandwidth_utilisation
+        )
+        seconds = traffic / effective_bw + self.kernel_overhead_s
+        return 1.0 / seconds
+
+    def mamba_result(self, config: Mamba2Config) -> GPUResult:
+        """Decode throughput / power for a Mamba2 model (no KV cache)."""
+        return GPUResult(
+            platform=self.platform.name,
+            model=config.name,
+            tokens_per_second=self.decode_tokens_per_second(config.num_parameters()),
+            power_w=self.platform.board_power_w,
+        )
+
+    def transformer_tokens_per_second(
+        self,
+        num_parameters: float,
+        kv_bytes_per_token: float,
+        output_tokens: int,
+    ) -> float:
+        """Average throughput over a whole generation for a Transformer.
+
+        The KV cache grows with every generated token, so the average is taken
+        over the sequence (the declining curves of Fig. 9a).
+        """
+        if output_tokens <= 0:
+            raise ValueError("output_tokens must be positive")
+        # Average sequence position over the run is (output_tokens - 1) / 2.
+        avg_position = (output_tokens - 1) / 2.0
+        return self.decode_tokens_per_second(num_parameters, kv_bytes_per_token, int(avg_position))

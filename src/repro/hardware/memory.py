@@ -1,0 +1,118 @@
+"""Off-chip memory interface and on-chip buffer models.
+
+During decode the accelerator streams every weight from off-chip DRAM once
+per token, which makes the VCK190 design memory-bound (12 GB/s LPDDR) and the
+U280 design mostly compute-bound (460 GB/s HBM).  :class:`DramInterface`
+converts byte counts to accelerator cycles; :class:`OnChipBufferModel`
+converts activation buffer bytes to BRAM / URAM counts the way Vivado maps
+them (URAM for the large SSM-state and activation buffers, BRAM for small
+FIFOs and weight tiles).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.hardware.platforms import FPGAPlatform
+
+__all__ = ["DramInterface", "OnChipBufferModel", "BufferAllocation"]
+
+#: Usable bytes of one UltraRAM block (288 Kb).
+URAM_BYTES = 288 * 1024 // 8
+#: Usable bytes of one 36 Kb block RAM.
+BRAM_BYTES = 36 * 1024 // 8
+
+
+@dataclass(frozen=True)
+class DramInterface:
+    """Off-chip memory modelled as a bandwidth with a utilisation efficiency.
+
+    Attributes
+    ----------
+    bandwidth_bytes_per_s:
+        Peak interface bandwidth.
+    frequency_hz:
+        Accelerator clock used to express transfers in cycles.
+    efficiency:
+        Achievable fraction of the peak for the long sequential bursts used
+        by weight streaming (DMA overhead, refresh, protocol).
+    """
+
+    bandwidth_bytes_per_s: float
+    frequency_hz: float
+    efficiency: float = 0.88
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_s <= 0 or self.frequency_hz <= 0:
+            raise ValueError("bandwidth and frequency must be positive")
+        if not 0.0 < self.efficiency <= 1.0:
+            raise ValueError("efficiency must be in (0, 1]")
+
+    @classmethod
+    def for_platform(cls, platform: FPGAPlatform, efficiency: float = 0.88) -> "DramInterface":
+        return cls(
+            bandwidth_bytes_per_s=platform.dram_bandwidth_bytes_per_s,
+            frequency_hz=platform.frequency_hz,
+            efficiency=efficiency,
+        )
+
+    @property
+    def bytes_per_cycle(self) -> float:
+        """Effective bytes delivered per accelerator cycle."""
+        return self.bandwidth_bytes_per_s * self.efficiency / self.frequency_hz
+
+    def cycles_for_bytes(self, num_bytes: float) -> float:
+        """Cycles to stream ``num_bytes`` from DRAM."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        return num_bytes / self.bytes_per_cycle
+
+    def seconds_for_bytes(self, num_bytes: float) -> float:
+        return self.cycles_for_bytes(num_bytes) / self.frequency_hz
+
+
+@dataclass(frozen=True)
+class BufferAllocation:
+    """On-chip storage assigned to a named buffer."""
+
+    name: str
+    num_bytes: float
+    uram: int
+    bram: int
+
+
+@dataclass(frozen=True)
+class OnChipBufferModel:
+    """Maps buffer byte requirements onto URAM / BRAM blocks.
+
+    Buffers at least ``uram_threshold_bytes`` large are placed in URAM (as the
+    implementation does for the SSM intermediate tensors, which the paper
+    reports occupying >70% of URAM before tiling); smaller buffers use BRAM.
+    """
+
+    uram_threshold_bytes: int = 16 * 1024
+    banking_overhead: float = 1.10  # port/banking rounding losses
+
+    def allocate(self, name: str, num_bytes: float) -> BufferAllocation:
+        """Allocate a buffer and return its URAM / BRAM block counts."""
+        if num_bytes < 0:
+            raise ValueError("buffer size must be non-negative")
+        effective = num_bytes * self.banking_overhead
+        if effective >= self.uram_threshold_bytes:
+            return BufferAllocation(
+                name=name,
+                num_bytes=num_bytes,
+                uram=math.ceil(effective / URAM_BYTES),
+                bram=0,
+            )
+        return BufferAllocation(
+            name=name,
+            num_bytes=num_bytes,
+            uram=0,
+            bram=max(1, math.ceil(effective / BRAM_BYTES)) if num_bytes > 0 else 0,
+        )
+
+    def allocate_many(self, buffers: dict[str, float]) -> list[BufferAllocation]:
+        """Allocate several named buffers at once."""
+        return [self.allocate(name, size) for name, size in buffers.items()]

@@ -1,0 +1,143 @@
+"""Matrix Multiplication Unit (MMU).
+
+The MMU (Fig. 5b) serves the input and output projections in a
+time-multiplexed manner.  It accepts an activation vector of ``din`` elements
+per cycle and produces partial sums for ``dout`` output lanes, i.e.
+``din x dout`` MACs per cycle, implemented with ``din x dout / 2`` DSP slices
+through DSP packing.  Weights stream from off-chip DRAM tile by tile and are
+double-buffered so the transfer overlaps with computation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.hardware.dsp import dsp_packing_factor, dsps_for_macs
+from repro.hardware.resources import ResourceUsage
+
+__all__ = ["MMUConfig", "MatrixMultiplyUnit"]
+
+# Per-MAC logic for operand distribution and the adder tree.
+_LUT_PER_MAC = 14
+_FF_PER_MAC = 18
+# Double-buffered weight tile storage (BRAM blocks per 32 output lanes).
+_BRAM_PER_TILE_LANE = 0.5
+
+
+@dataclass(frozen=True)
+class MMUConfig:
+    """Shape and precision of the MMU.
+
+    Attributes
+    ----------
+    din:
+        Activation elements consumed per cycle (adder-tree width).
+    dout:
+        Output lanes computed in parallel.
+    weight_bits / act_bits:
+        Operating precision.  Integer precisions up to 8 bits use DSP packing;
+        FP16 activations disable packing and cost two DSPs per MAC, reducing
+        the sustainable MAC rate for a fixed DSP budget.
+    """
+
+    din: int = 64
+    dout: int = 2
+    weight_bits: int = 4
+    act_bits: int = 4
+
+    def __post_init__(self) -> None:
+        if self.din <= 0 or self.dout <= 0:
+            raise ValueError("din and dout must be positive")
+        if self.weight_bits <= 0 or self.act_bits <= 0:
+            raise ValueError("bit widths must be positive")
+
+    @property
+    def native_macs_per_cycle(self) -> int:
+        """MAC units instantiated (integer, packed)."""
+        return self.din * self.dout
+
+    @property
+    def dsp_count(self) -> int:
+        """DSP slices of the integer-packed implementation."""
+        return dsps_for_macs(self.native_macs_per_cycle, min(self.weight_bits, 8), min(self.act_bits, 8))
+
+    @property
+    def effective_macs_per_cycle(self) -> float:
+        """Sustained MACs per cycle at the configured precision.
+
+        The DSP budget is fixed by the integer-packed design; running FP16
+        activations through the same budget costs two DSPs per MAC and no
+        packing, i.e. a 4x lower MAC rate.
+        """
+        if max(self.weight_bits, self.act_bits) <= 8:
+            return float(self.native_macs_per_cycle)
+        from repro.hardware.dsp import DSP_PER_FP16_MAC
+
+        return self.dsp_count / DSP_PER_FP16_MAC
+
+
+@dataclass(frozen=True)
+class MatrixMultiplyUnit:
+    """Resource and timing model of the MMU."""
+
+    config: MMUConfig
+    pipeline_depth: int = 8   # adder tree + accumulate register stages
+
+    def resources(self) -> ResourceUsage:
+        macs = self.config.native_macs_per_cycle
+        return ResourceUsage(
+            lut=_LUT_PER_MAC * macs,
+            ff=_FF_PER_MAC * macs,
+            dsp=self.config.dsp_count,
+            bram=math.ceil(self.config.dout * _BRAM_PER_TILE_LANE) * 2,  # double buffer
+        )
+
+    # ------------------------------------------------------------------
+    # Timing
+    # ------------------------------------------------------------------
+    def gemv_cycles(self, in_features: int, out_features: int) -> int:
+        """Cycles to multiply a single activation vector by a weight matrix.
+
+        The matrix is tiled into ``din x dout`` tiles; one tile is consumed
+        per cycle.  A short pipeline-fill latency is added once.
+        """
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("matrix dimensions must be positive")
+        cfg = self.config
+        in_tiles = math.ceil(in_features / cfg.din)
+        out_tiles = math.ceil(out_features / cfg.dout)
+        total_macs = in_features * out_features
+        # Integer precisions sustain one tile per cycle; FP16 activations
+        # reduce the sustained MAC rate for the same DSP budget.
+        tile_cycles = in_tiles * out_tiles
+        rate_penalty = cfg.native_macs_per_cycle / cfg.effective_macs_per_cycle
+        return math.ceil(tile_cycles * rate_penalty) + self.pipeline_depth
+
+    def gemm_cycles(self, tokens: int, in_features: int, out_features: int) -> int:
+        """Cycles for a batch of ``tokens`` activation vectors (prefill)."""
+        if tokens <= 0:
+            raise ValueError("tokens must be positive")
+        single = self.gemv_cycles(in_features, out_features) - self.pipeline_depth
+        return single * tokens + self.pipeline_depth
+
+    # ------------------------------------------------------------------
+    # Weight streaming
+    # ------------------------------------------------------------------
+    def weight_bytes(
+        self, in_features: int, out_features: int, group_size: int = 128
+    ) -> float:
+        """Off-chip bytes of one weight matrix: integer codes + FP16 scales.
+
+        8-bit weights carry one scale per output channel, narrower weights one
+        scale per ``group_size`` input elements per channel (Sec. VI-A).
+        """
+        bits = self.config.weight_bits
+        codes = in_features * out_features * bits / 8.0
+        if bits >= 16:
+            return in_features * out_features * 2.0
+        if bits >= 8:
+            scales = out_features * 2.0
+        else:
+            scales = out_features * math.ceil(in_features / group_size) * 2.0
+        return codes + scales

@@ -1,0 +1,184 @@
+"""Generic tick-accurate pipeline simulator.
+
+The SSMU (Fig. 5c) and the FHT-based HTU (Fig. 5d) are dataflow pipelines:
+processing stages with fixed per-cycle throughput connected by FIFOs.  This
+module provides a small cycle-by-cycle simulator for such linear pipelines.
+It is deliberately value-free -- it tracks element *counts*, which is all
+that latency, utilisation and FIFO-depth questions need -- while the
+numerical behaviour of the operators is covered by :mod:`repro.quant` and
+:mod:`repro.mamba`.
+
+The simulator reports total cycles, per-stage busy cycles (utilisation) and
+maximum FIFO occupancy, which the tests use to verify the paper's pipeline
+claims (balanced dataflow with minimal FIFO depth, no bubbles in the
+fine-grained schedule).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.hardware.fifo import Fifo
+
+__all__ = ["PipelineStage", "PipelineResult", "LinearPipeline"]
+
+
+@dataclass
+class PipelineStage:
+    """One processing stage of a dataflow pipeline.
+
+    Attributes
+    ----------
+    name:
+        Stage identifier.
+    rate:
+        Elements consumed (and produced) per cycle when inputs are available.
+    latency:
+        Pipeline depth in cycles between consuming an element and the result
+        becoming available to the next stage.
+    """
+
+    name: str
+    rate: int
+    latency: int = 1
+    busy_cycles: int = 0
+    processed: int = 0
+    _in_flight: List[tuple] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError("stage rate must be positive")
+        if self.latency < 1:
+            raise ValueError("stage latency must be at least 1")
+
+    def reset(self) -> None:
+        self.busy_cycles = 0
+        self.processed = 0
+        self._in_flight = []
+
+
+@dataclass
+class PipelineResult:
+    """Outcome of a pipeline simulation."""
+
+    total_cycles: int
+    elements: int
+    stage_busy_cycles: Dict[str, int]
+    stage_utilisation: Dict[str, float]
+    fifo_max_occupancy: Dict[str, int]
+
+    @property
+    def throughput(self) -> float:
+        """Elements per cycle sustained over the run."""
+        return self.elements / self.total_cycles if self.total_cycles else 0.0
+
+
+class LinearPipeline:
+    """A source followed by a chain of stages connected with FIFOs."""
+
+    def __init__(
+        self,
+        stages: List[PipelineStage],
+        fifo_capacity: int = 64,
+        fifo_capacities: Optional[List[int]] = None,
+    ):
+        if not stages:
+            raise ValueError("a pipeline needs at least one stage")
+        self.stages = stages
+        capacities = fifo_capacities or [fifo_capacity] * len(stages)
+        if len(capacities) != len(stages):
+            raise ValueError("fifo_capacities must have one entry per stage")
+        # fifos[i] feeds stages[i]; the last stage drains to an unbounded sink.
+        self.fifos = [
+            Fifo(name=f"fifo_{stage.name}", capacity=cap)
+            for stage, cap in zip(stages, capacities)
+        ]
+
+    def run(
+        self,
+        num_elements: int,
+        source_rate: int = 1,
+        max_cycles: int = 10_000_000,
+    ) -> PipelineResult:
+        """Push ``num_elements`` through the pipeline and simulate to drain.
+
+        Parameters
+        ----------
+        num_elements:
+            Total elements produced by the source.
+        source_rate:
+            Elements the source can emit per cycle (e.g. the MMU output rate).
+        max_cycles:
+            Safety bound against deadlocks (raises if exceeded).
+        """
+        if num_elements < 0:
+            raise ValueError("num_elements must be non-negative")
+        for stage in self.stages:
+            stage.reset()
+        for fifo in self.fifos:
+            fifo.reset()
+        if num_elements == 0:
+            return self._result(0, 0)
+
+        remaining_source = num_elements
+        drained = 0
+        cycle = 0
+        while drained < num_elements:
+            if cycle >= max_cycles:
+                raise RuntimeError(
+                    f"pipeline did not drain within {max_cycles} cycles "
+                    "(likely an unbalanced configuration or too-small FIFOs)"
+                )
+            # Retire in-flight work whose latency elapsed (downstream first so
+            # FIFO space freed this cycle is visible upstream next cycle).
+            for idx in range(len(self.stages) - 1, -1, -1):
+                stage = self.stages[idx]
+                ready = [item for item in stage._in_flight if item[0] <= cycle]
+                stage._in_flight = [item for item in stage._in_flight if item[0] > cycle]
+                for _, count in ready:
+                    if idx + 1 < len(self.stages):
+                        accepted = self.fifos[idx + 1].push(count)
+                        if accepted < count:
+                            # No room downstream: stall by re-queueing the rest.
+                            stage._in_flight.append((cycle + 1, count - accepted))
+                    else:
+                        drained += count
+
+            # Issue new work into each stage from its input FIFO.
+            for idx, stage in enumerate(self.stages):
+                available = self.fifos[idx].occupancy
+                downstream_room = (
+                    self.fifos[idx + 1].free_space
+                    if idx + 1 < len(self.stages)
+                    else stage.rate
+                )
+                issue = min(stage.rate, available, max(downstream_room, 0))
+                if issue > 0:
+                    self.fifos[idx].pop(issue)
+                    stage._in_flight.append((cycle + stage.latency, issue))
+                    stage.busy_cycles += 1
+                    stage.processed += issue
+
+            # Source feeds the first FIFO.
+            if remaining_source > 0:
+                pushed = self.fifos[0].push(min(source_rate, remaining_source))
+                remaining_source -= pushed
+
+            cycle += 1
+        return self._result(cycle, num_elements)
+
+    def _result(self, cycles: int, elements: int) -> PipelineResult:
+        busy = {stage.name: stage.busy_cycles for stage in self.stages}
+        util = {
+            stage.name: (stage.busy_cycles / cycles if cycles else 0.0)
+            for stage in self.stages
+        }
+        occupancy = {fifo.name: fifo.max_occupancy for fifo in self.fifos}
+        return PipelineResult(
+            total_cycles=cycles,
+            elements=elements,
+            stage_busy_cycles=busy,
+            stage_utilisation=util,
+            fifo_max_occupancy=occupancy,
+        )

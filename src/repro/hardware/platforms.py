@@ -1,0 +1,135 @@
+"""Hardware platform specifications (Table IV of the paper).
+
+The FPGA resource totals are the published device capacities; the operating
+frequency and memory bandwidth are the values the paper reports for its
+implementation (the VCK190 design uses LPDDR at an effective 12 GB/s, the
+U280 design uses HBM at 460 GB/s).  GPU platforms record the published memory
+bandwidth and the board power observed in the paper's energy numbers
+(tokens/J = throughput / power).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Union
+
+__all__ = [
+    "FPGAPlatform",
+    "GPUPlatform",
+    "VCK190",
+    "U280",
+    "RTX2070",
+    "RTX4090",
+    "get_platform",
+    "PLATFORMS",
+]
+
+
+@dataclass(frozen=True)
+class FPGAPlatform:
+    """An FPGA board with its resource budget and memory system.
+
+    Attributes
+    ----------
+    name:
+        Board name.
+    frequency_hz:
+        Accelerator clock frequency of the paper's implementation.
+    dram_bandwidth_bytes_per_s:
+        Effective off-chip memory bandwidth available to the accelerator.
+    lut, ff, dsp, bram, uram:
+        Device resource capacities (LUTs, flip-flops, DSP slices, 36 Kb block
+        RAMs, UltraRAMs).
+    """
+
+    name: str
+    frequency_hz: float
+    dram_bandwidth_bytes_per_s: float
+    lut: int
+    ff: int
+    dsp: int
+    bram: int
+    uram: int
+
+    @property
+    def bytes_per_cycle(self) -> float:
+        """Peak DRAM bytes deliverable per accelerator clock cycle."""
+        return self.dram_bandwidth_bytes_per_s / self.frequency_hz
+
+
+@dataclass(frozen=True)
+class GPUPlatform:
+    """A GPU baseline platform.
+
+    ``board_power_w`` is the sustained board power during decode used for the
+    paper's tokens/J numbers; ``mem_bandwidth_utilisation`` is the fraction of
+    peak bandwidth a single-batch decode kernel achieves in practice.
+    """
+
+    name: str
+    frequency_hz: float
+    dram_bandwidth_bytes_per_s: float
+    board_power_w: float
+    mem_bandwidth_utilisation: float = 0.75
+
+
+#: Xilinx Versal VCK190 (VC1902 device) as configured in the paper: 400 MHz,
+#: LPDDR with an effective 12 GB/s.
+VCK190 = FPGAPlatform(
+    name="VCK190",
+    frequency_hz=400e6,
+    dram_bandwidth_bytes_per_s=12e9,
+    lut=899_840,
+    ff=1_799_680,
+    dsp=1_968,
+    bram=967,
+    uram=463,
+)
+
+#: Xilinx Alveo U280: 200 MHz design clock, HBM2 at an effective 460 GB/s.
+U280 = FPGAPlatform(
+    name="U280",
+    frequency_hz=200e6,
+    dram_bandwidth_bytes_per_s=460e9,
+    lut=1_303_680,
+    ff=2_607_360,
+    dsp=9_024,
+    bram=2_016,
+    uram=960,
+)
+
+#: NVIDIA RTX 2070: 448 GB/s-class GDDR6 (468 GB/s effective in Table IV),
+#: ~175 W board power during decode (65 tokens/s at 0.371 tokens/J).
+RTX2070 = GPUPlatform(
+    name="RTX 2070",
+    frequency_hz=1.62e9,
+    dram_bandwidth_bytes_per_s=468e9,
+    board_power_w=175.0,
+)
+
+#: NVIDIA RTX 4090: 1008 GB/s GDDR6X, ~285 W board power during decode
+#: (138 tokens/s at 0.484 tokens/J).
+RTX4090 = GPUPlatform(
+    name="RTX 4090",
+    frequency_hz=2.52e9,
+    dram_bandwidth_bytes_per_s=1008e9,
+    board_power_w=285.0,
+)
+
+
+PLATFORMS: Dict[str, Union[FPGAPlatform, GPUPlatform]] = {
+    "vck190": VCK190,
+    "u280": U280,
+    "rtx2070": RTX2070,
+    "rtx4090": RTX4090,
+}
+
+
+def get_platform(name: str) -> Union[FPGAPlatform, GPUPlatform]:
+    """Look up a platform by (case-insensitive) name."""
+    key = name.lower().replace(" ", "").replace("-", "")
+    try:
+        return PLATFORMS[key]
+    except KeyError:
+        known = ", ".join(sorted(PLATFORMS))
+        raise KeyError(f"unknown platform '{name}'; known platforms: {known}") from None

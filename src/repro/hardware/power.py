@@ -1,0 +1,61 @@
+"""FPGA power model and energy-efficiency helpers.
+
+The paper measures board power with the Xilinx BEAM tool and reports energy
+efficiency in tokens/J (Table IV, Fig. 9b).  This model estimates dynamic
+power from the resource usage and clock frequency plus a static / interface
+term, calibrated so the VCK190 design lands near the published operating
+point (7.21 tokens/s at 2.25 tokens/J implies roughly 3.2 W board power).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.resources import ResourceUsage
+
+__all__ = ["FPGAPowerModel", "energy_efficiency"]
+
+
+@dataclass(frozen=True)
+class FPGAPowerModel:
+    """Resource-proportional power estimate.
+
+    Dynamic terms are specified at the reference frequency and scale linearly
+    with the clock; ``activity`` is the average toggle-rate factor.
+    """
+
+    static_w: float = 1.4
+    dram_interface_w: float = 1.2
+    w_per_dsp: float = 0.0020
+    w_per_bram: float = 0.00055
+    w_per_uram: float = 0.0016
+    w_per_klut: float = 0.0042
+    w_per_kff: float = 0.0011
+    reference_frequency_hz: float = 400e6
+    activity: float = 0.80
+
+    def dynamic_power(self, usage: ResourceUsage, frequency_hz: float) -> float:
+        """Dynamic power of the configured logic at the given clock."""
+        if frequency_hz <= 0:
+            raise ValueError("frequency must be positive")
+        at_reference = (
+            usage.dsp * self.w_per_dsp
+            + usage.bram * self.w_per_bram
+            + usage.uram * self.w_per_uram
+            + usage.lut / 1000.0 * self.w_per_klut
+            + usage.ff / 1000.0 * self.w_per_kff
+        )
+        return at_reference * self.activity * (frequency_hz / self.reference_frequency_hz)
+
+    def power(self, usage: ResourceUsage, frequency_hz: float) -> float:
+        """Total board power (static + DRAM interface + dynamic)."""
+        return self.static_w + self.dram_interface_w + self.dynamic_power(usage, frequency_hz)
+
+
+def energy_efficiency(tokens_per_second: float, power_w: float) -> float:
+    """Tokens per joule."""
+    if power_w <= 0:
+        raise ValueError("power must be positive")
+    if tokens_per_second < 0:
+        raise ValueError("throughput must be non-negative")
+    return tokens_per_second / power_w

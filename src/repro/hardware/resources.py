@@ -1,0 +1,121 @@
+"""FPGA resource accounting (LUT / FF / DSP / BRAM / URAM)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping
+
+from repro.hardware.platforms import FPGAPlatform
+
+__all__ = ["ResourceUsage", "ResourceReport"]
+
+_FIELDS = ("lut", "ff", "dsp", "bram", "uram")
+
+
+@dataclass(frozen=True)
+class ResourceUsage:
+    """Resource consumption of a hardware unit (additive)."""
+
+    lut: float = 0.0
+    ff: float = 0.0
+    dsp: float = 0.0
+    bram: float = 0.0
+    uram: float = 0.0
+
+    def __add__(self, other: "ResourceUsage") -> "ResourceUsage":
+        return ResourceUsage(
+            lut=self.lut + other.lut,
+            ff=self.ff + other.ff,
+            dsp=self.dsp + other.dsp,
+            bram=self.bram + other.bram,
+            uram=self.uram + other.uram,
+        )
+
+    def scale(self, factor: float) -> "ResourceUsage":
+        """Multiply every resource by ``factor`` (e.g. unit replication)."""
+        return ResourceUsage(
+            lut=self.lut * factor,
+            ff=self.ff * factor,
+            dsp=self.dsp * factor,
+            bram=self.bram * factor,
+            uram=self.uram * factor,
+        )
+
+    def rounded(self) -> "ResourceUsage":
+        """Round every count up to an integer (physical resources are discrete)."""
+        import math
+
+        return ResourceUsage(
+            lut=math.ceil(self.lut),
+            ff=math.ceil(self.ff),
+            dsp=math.ceil(self.dsp),
+            bram=math.ceil(self.bram),
+            uram=math.ceil(self.uram),
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        return {name: getattr(self, name) for name in _FIELDS}
+
+    def utilization(self, platform: FPGAPlatform) -> Dict[str, float]:
+        """Fraction of each platform resource consumed."""
+        caps = {
+            "lut": platform.lut,
+            "ff": platform.ff,
+            "dsp": platform.dsp,
+            "bram": platform.bram,
+            "uram": platform.uram,
+        }
+        return {name: getattr(self, name) / caps[name] for name in _FIELDS}
+
+    def fits(self, platform: FPGAPlatform) -> bool:
+        """Whether the usage fits within the platform's budget."""
+        return all(frac <= 1.0 for frac in self.utilization(platform).values())
+
+    @classmethod
+    def total(cls, usages: Iterable["ResourceUsage"]) -> "ResourceUsage":
+        out = cls()
+        for usage in usages:
+            out = out + usage
+        return out
+
+
+@dataclass
+class ResourceReport:
+    """Per-module resource breakdown plus the total (Fig. 8 / Table IV)."""
+
+    modules: Dict[str, ResourceUsage] = field(default_factory=dict)
+
+    def add(self, name: str, usage: ResourceUsage) -> None:
+        if name in self.modules:
+            self.modules[name] = self.modules[name] + usage
+        else:
+            self.modules[name] = usage
+
+    @property
+    def total(self) -> ResourceUsage:
+        return ResourceUsage.total(self.modules.values())
+
+    def utilization(self, platform: FPGAPlatform) -> Dict[str, float]:
+        return self.total.utilization(platform)
+
+    def rows(self) -> Mapping[str, Dict[str, float]]:
+        """Dictionary rows suitable for tabular printing."""
+        out = {name: usage.as_dict() for name, usage in self.modules.items()}
+        out["total"] = self.total.as_dict()
+        return out
+
+    def format_table(self, platform: FPGAPlatform | None = None) -> str:
+        """Human-readable fixed-width table of the breakdown."""
+        header = f"{'module':<18}" + "".join(f"{f.upper():>10}" for f in _FIELDS)
+        lines = [header, "-" * len(header)]
+        for name, usage in self.rows().items():
+            lines.append(
+                f"{name:<18}" + "".join(f"{usage[f]:>10.0f}" for f in _FIELDS)
+            )
+        if platform is not None:
+            util = self.utilization(platform)
+            lines.append(
+                f"{'utilization %':<18}"
+                + "".join(f"{100 * util[f]:>10.1f}" for f in _FIELDS)
+            )
+        return "\n".join(lines)

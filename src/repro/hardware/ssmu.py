@@ -1,0 +1,231 @@
+"""SSM Unit (SSMU): the fully-unrolled, pipelined SSM datapath.
+
+The SSMU (Fig. 5c) implements every operator of the SSM layer with a
+dedicated unit -- element-wise multiplier arrays (EMUs), the softplus / exp /
+SiLU non-linearities and the readout accumulator -- connected through FIFOs
+so that a head's computation flows through the pipeline without returning to
+off-chip memory.
+
+Two buffer organisations are modelled (Fig. 7):
+
+- *tensor-by-tensor*: every intermediate tensor (``B_bar (.) x``,
+  ``A_bar (.) h``, ``h (.) C`` ...) is materialised in on-chip URAM before the
+  next operator starts -- simple, but the SSMU ends up holding >70% of the
+  device URAM;
+- *tile-by-tile* (fine-grained tiling + fusion): operators are fused so that
+  only an ``np x pp`` tile of each intermediate is alive at a time, cutting
+  the SSMU URAM by ~4x and removing the per-head pipeline bubbles.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from repro.hardware.emu import (
+    DEFAULT_SSM_PARALLELISM,
+    EMUConfig,
+    ElementwiseMultiplyUnit,
+    SSM_OPERATOR_SHAPES,
+)
+from repro.hardware.memory import BufferAllocation, OnChipBufferModel
+from repro.hardware.pipeline import LinearPipeline, PipelineStage
+from repro.hardware.resources import ResourceUsage
+
+__all__ = ["SSMUConfig", "SSMUnit"]
+
+# LUT-implemented non-linear units (piecewise-linear approximations).
+_NONLINEAR_UNITS = {"softplus": 2600, "exp": 2200, "silu": 2400}
+_ACCUMULATOR_LUT = 1800
+_CONV_LANES = 8
+_CONV_LUT_PER_LANE = 160
+_HEAD_RESTART_OVERHEAD = 24   # drain/refill bubble between heads (coarse pipeline)
+_PIPELINE_FILL = 40           # one-off fill latency of the fused pipeline
+
+
+@dataclass(frozen=True)
+class SSMUConfig:
+    """Dimensions, precision and per-operator parallelism of the SSMU.
+
+    Attributes
+    ----------
+    nheads, headdim, d_state:
+        SSM dimensions (``h``, ``p``, ``n`` of Fig. 1).
+    bits:
+        Operand precision of the quantized SSM datapath (8 in the paper);
+        16 models the unquantized FP baseline.
+    pot_requant:
+        Power-of-two re-quantization (shift) versus naive multiplier-based.
+    state_bytes:
+        Bytes per hidden-state element held on chip.
+    parallelism:
+        Per-operator EMU lane counts; defaults to Fig. 5(c) (1x8 units for
+        head-sized operators, 2x8 units for state-sized operators).
+    tile_heads, tile_state:
+        Fine-grained tile shape ``np x pp`` along the head and state axes.
+    """
+
+    nheads: int
+    headdim: int
+    d_state: int
+    bits: int = 8
+    pot_requant: bool = True
+    state_bytes: int = 2
+    accumulator_bytes: int = 4
+    parallelism: Optional[Mapping[str, int]] = None
+    tile_heads: int = 1
+    tile_state: int = 32
+
+    def __post_init__(self) -> None:
+        if min(self.nheads, self.headdim, self.d_state) <= 0:
+            raise ValueError("nheads, headdim and d_state must be positive")
+        if self.tile_heads <= 0 or self.tile_state <= 0:
+            raise ValueError("tile sizes must be positive")
+        if self.bits not in (4, 8, 16):
+            raise ValueError("bits must be 4, 8 or 16")
+
+    @property
+    def lanes(self) -> Dict[str, int]:
+        lanes = dict(DEFAULT_SSM_PARALLELISM)
+        if self.parallelism:
+            lanes.update(self.parallelism)
+        return lanes
+
+    @property
+    def element_bytes(self) -> int:
+        """Bytes per intermediate element at the datapath precision."""
+        return 2 if self.bits == 16 else 1
+
+    @property
+    def d_inner(self) -> int:
+        return self.nheads * self.headdim
+
+
+@dataclass
+class SSMUnit:
+    """Resource, timing and buffer model of the SSMU."""
+
+    config: SSMUConfig
+    buffer_model: OnChipBufferModel = field(default_factory=OnChipBufferModel)
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def emus(self) -> Dict[str, ElementwiseMultiplyUnit]:
+        cfg = self.config
+        return {
+            op: ElementwiseMultiplyUnit(
+                EMUConfig(name=op, lanes=lanes, bits=cfg.bits, pot_requant=cfg.pot_requant)
+            )
+            for op, lanes in cfg.lanes.items()
+        }
+
+    def resources(self) -> ResourceUsage:
+        """Logic resources of the SSMU (buffers reported separately)."""
+        usage = ResourceUsage.total(emu.resources() for emu in self.emus().values())
+        nonlinear_lut = sum(_NONLINEAR_UNITS.values()) + _ACCUMULATOR_LUT
+        conv_lut = _CONV_LANES * _CONV_LUT_PER_LANE
+        from repro.hardware.dsp import dsps_for_macs
+
+        conv_dsp = dsps_for_macs(_CONV_LANES, min(self.config.bits, 8), min(self.config.bits, 8))
+        return usage + ResourceUsage(lut=nonlinear_lut + conv_lut, ff=2600, dsp=conv_dsp)
+
+    # ------------------------------------------------------------------
+    # Timing
+    # ------------------------------------------------------------------
+    def _bottleneck_lanes(self) -> int:
+        """Lanes of the state-sized operators (the pipeline bottleneck)."""
+        lanes = self.config.lanes
+        return min(lanes["B_mul_x"], lanes["A_mul_h"], lanes["h_mul_C"])
+
+    def cycles_per_head(self) -> int:
+        """Steady-state cycles to push one head through the SSMU pipeline."""
+        cfg = self.config
+        elements = cfg.headdim * cfg.d_state
+        return math.ceil(elements / self._bottleneck_lanes())
+
+    def total_cycles(self, fine_grained: bool = True, heads: Optional[int] = None) -> int:
+        """Cycles to process ``heads`` heads of one token.
+
+        With the coarse-grained organisation each head pays a drain/refill
+        bubble; the fine-grained tiling keeps the pipeline full across heads
+        so only a single fill is paid.
+        """
+        cfg = self.config
+        heads = cfg.nheads if heads is None else heads
+        if heads < 0:
+            raise ValueError("heads must be non-negative")
+        if heads == 0:
+            return 0
+        per_head = self.cycles_per_head()
+        if fine_grained:
+            return heads * per_head + _PIPELINE_FILL
+        return heads * (per_head + _HEAD_RESTART_OVERHEAD) + _PIPELINE_FILL
+
+    def simulate_pipeline(self, heads: int = 1, fifo_capacity: int = 64):
+        """Tick-accurate simulation of the per-head operator pipeline.
+
+        The stages correspond to the operator chain
+        ``delta_mul_B -> B_mul_x -> A_mul_h(+add) -> h_mul_C -> accumulate``;
+        the returned result carries per-stage utilisation and FIFO occupancy.
+        """
+        cfg = self.config
+        lanes = cfg.lanes
+        stages = [
+            PipelineStage(name="delta_mul_B", rate=lanes["delta_mul_B"], latency=2),
+            PipelineStage(name="B_mul_x", rate=lanes["B_mul_x"], latency=2),
+            PipelineStage(name="A_mul_h", rate=lanes["A_mul_h"], latency=2),
+            PipelineStage(name="h_mul_C", rate=lanes["h_mul_C"], latency=2),
+            PipelineStage(name="accumulate", rate=lanes["h_mul_C"], latency=1),
+        ]
+        pipeline = LinearPipeline(stages, fifo_capacity=fifo_capacity)
+        elements = heads * cfg.headdim * cfg.d_state
+        source_rate = lanes["B_mul_x"]
+        return pipeline.run(elements, source_rate=source_rate)
+
+    # ------------------------------------------------------------------
+    # Buffers (Fig. 7)
+    # ------------------------------------------------------------------
+    def buffer_bytes(self, fine_grained: bool = True) -> Dict[str, float]:
+        """Named on-chip buffer sizes in bytes for the chosen organisation."""
+        cfg = self.config
+        h, p, n = cfg.nheads, cfg.headdim, cfg.d_state
+        state_elems = h * p * n
+        elem = cfg.element_bytes
+
+        buffers: Dict[str, float] = {
+            # The recurrent hidden state persists across tokens.
+            "ssm_state": state_elems * cfg.state_bytes,
+            # Inputs staged for the reordered schedule: Delta, B, C for all
+            # heads plus the per-head x and gating z slices.
+            "delta_B_C": (h + 2 * n) * 2,
+            "x_buffer": cfg.d_inner * elem,
+            "z_buffer": cfg.d_inner * elem,
+            "y_output": cfg.d_inner * 2,
+        }
+        # Intermediate element-wise products live at accumulator precision
+        # until they are re-quantized (INT32/FP32), which is what makes the
+        # tensor-by-tensor organisation so URAM-hungry (Fig. 7a).  The
+        # ``h (.) C`` product feeds the readout reduction directly and is
+        # never materialised as a full tensor.
+        acc = cfg.accumulator_bytes
+        if fine_grained:
+            tile_elems = cfg.tile_heads * p * min(cfg.tile_state, n)
+            for name in ("B_mul_x", "A_mul_h"):
+                buffers[name] = tile_elems * acc
+        else:
+            for name in ("B_mul_x", "A_mul_h"):
+                buffers[name] = state_elems * acc
+            buffers["delta_mul_B"] = h * n * acc
+        return buffers
+
+    def buffer_allocations(self, fine_grained: bool = True) -> list[BufferAllocation]:
+        return self.buffer_model.allocate_many(self.buffer_bytes(fine_grained))
+
+    def uram_usage(self, fine_grained: bool = True) -> int:
+        """Total URAM blocks of the SSMU buffers."""
+        return sum(a.uram for a in self.buffer_allocations(fine_grained))
+
+    def bram_usage(self, fine_grained: bool = True) -> int:
+        return sum(a.bram for a in self.buffer_allocations(fine_grained))

@@ -1,0 +1,59 @@
+"""Mamba2 model substrate.
+
+A numpy implementation of the Mamba2 architecture (Dao & Gu, 2024) as described
+in Fig. 1 of the LightMamba paper: each block consists of an input projection,
+a short causal 1-d convolution over ``(x, B, C)``, the SSM (state space model)
+recurrence, a gated RMSNorm and an output projection.  The model supports both
+prefill (summarising a prompt) and autoregressive decode with a fixed-size
+recurrent cache.
+
+The implementation favours clarity and testability over raw speed: every layer
+is a plain dataclass over numpy arrays with an explicit ``forward``/``step``
+method, so quantization passes and the hardware simulator can introspect and
+rewrite parameters directly.
+"""
+
+from repro.mamba.config import Mamba2Config, MODEL_PRESETS, get_preset
+from repro.mamba.ops import silu, softplus, rms_normalize
+from repro.mamba.rmsnorm import RMSNorm, GatedRMSNorm
+from repro.mamba.conv1d import CausalConv1d
+from repro.mamba.ssm import (
+    SSMParams,
+    ssm_step,
+    ssm_scan,
+    ssd_chunked_scan,
+    selective_state_update,
+)
+from repro.mamba.cache import LayerCache, InferenceCache
+from repro.mamba.block import MambaBlock
+from repro.mamba.model import Mamba2Model
+from repro.mamba.generation import greedy_decode, sample_decode, GenerationResult
+from repro.mamba.init import InitConfig, OutlierProfile
+from repro.mamba.tokenizer import ByteTokenizer
+
+__all__ = [
+    "Mamba2Config",
+    "MODEL_PRESETS",
+    "get_preset",
+    "silu",
+    "softplus",
+    "rms_normalize",
+    "RMSNorm",
+    "GatedRMSNorm",
+    "CausalConv1d",
+    "SSMParams",
+    "ssm_step",
+    "ssm_scan",
+    "ssd_chunked_scan",
+    "selective_state_update",
+    "LayerCache",
+    "InferenceCache",
+    "MambaBlock",
+    "Mamba2Model",
+    "greedy_decode",
+    "sample_decode",
+    "GenerationResult",
+    "InitConfig",
+    "OutlierProfile",
+    "ByteTokenizer",
+]

@@ -1,0 +1,298 @@
+"""The Mamba2 block.
+
+A block (Fig. 1 of the paper) computes, for a residual-stream input ``u``::
+
+    r           = RMSNorm(u)
+    [z,xBC,dt]  = r @ W_in^T                      # input projection
+    xBC         = silu(conv1d(xBC))               # short causal convolution
+    x, B, C     = split(xBC)
+    y           = SSM(x, B, C, dt)                # recurrence, Fig. 1 right
+    g           = GatedRMSNorm(y, z)              # gate with silu(z), normalise
+    out         = u + g @ W_out^T                 # output projection + residual
+
+The block exposes three injection points used by the quantization stack and
+the hardware co-design:
+
+- ``pre_in_proj`` / ``pre_out_proj`` -- callables applied to the activation
+  right before the corresponding matrix multiplication (identity by default).
+  The quantized model uses them for activation fake-quantization and for the
+  *online Hadamard transform* inserted before the output projection
+  (rotation (3) in Fig. 4a).
+- ``ssm_impl`` -- an alternative implementation of the SSM step with the same
+  signature as :func:`repro.mamba.ssm.ssm_step`; the PoT-quantized SSM plugs
+  in here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.mamba.cache import LayerCache
+from repro.mamba.config import Mamba2Config
+from repro.mamba.conv1d import CausalConv1d
+from repro.mamba.rmsnorm import GatedRMSNorm, RMSNorm
+from repro.mamba.ssm import SSMParams, ssm_scan, ssm_step
+
+__all__ = ["MambaBlock"]
+
+ActivationHook = Callable[[np.ndarray], np.ndarray]
+SSMStepFn = Callable[
+    [SSMParams, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+    Tuple[np.ndarray, np.ndarray],
+]
+
+
+def _identity(x: np.ndarray) -> np.ndarray:
+    return x
+
+
+@dataclass
+class MambaBlock:
+    """One Mamba2 block with explicit numpy parameters."""
+
+    config: Mamba2Config
+    norm: RMSNorm
+    in_proj_weight: np.ndarray        # (d_in_proj, d_model)
+    conv: CausalConv1d                # over conv_dim channels
+    ssm: SSMParams
+    gated_norm: GatedRMSNorm
+    out_proj_weight: np.ndarray       # (d_model, d_inner)
+    layer_idx: int = 0
+    in_proj_bias: Optional[np.ndarray] = None   # (d_in_proj,), used by OS+ compensation
+    out_proj_bias: Optional[np.ndarray] = None  # (d_model,), used by OS+ compensation
+    pre_in_proj: ActivationHook = field(default=_identity)
+    pre_out_proj: ActivationHook = field(default=_identity)
+    ssm_impl: Optional[SSMStepFn] = None
+
+    def __post_init__(self) -> None:
+        cfg = self.config
+        self.in_proj_weight = np.asarray(self.in_proj_weight, dtype=np.float64)
+        self.out_proj_weight = np.asarray(self.out_proj_weight, dtype=np.float64)
+        if self.in_proj_bias is not None:
+            self.in_proj_bias = np.asarray(self.in_proj_bias, dtype=np.float64)
+            if self.in_proj_bias.shape != (cfg.d_in_proj,):
+                raise ValueError("in_proj_bias must have shape (d_in_proj,)")
+        if self.out_proj_bias is not None:
+            self.out_proj_bias = np.asarray(self.out_proj_bias, dtype=np.float64)
+            if self.out_proj_bias.shape != (cfg.d_model,):
+                raise ValueError("out_proj_bias must have shape (d_model,)")
+        if self.in_proj_weight.shape != (cfg.d_in_proj, cfg.d_model):
+            raise ValueError(
+                f"in_proj_weight must have shape ({cfg.d_in_proj}, {cfg.d_model}), "
+                f"got {self.in_proj_weight.shape}"
+            )
+        if self.out_proj_weight.shape != (cfg.d_model, cfg.d_inner):
+            raise ValueError(
+                f"out_proj_weight must have shape ({cfg.d_model}, {cfg.d_inner}), "
+                f"got {self.out_proj_weight.shape}"
+            )
+        if self.conv.channels != cfg.conv_dim:
+            raise ValueError("conv channel count does not match config.conv_dim")
+        if self.ssm.nheads != cfg.nheads:
+            raise ValueError("SSM head count does not match config.nheads")
+        if self.norm.dim != cfg.d_model or self.gated_norm.dim != cfg.d_inner:
+            raise ValueError("norm dimensions do not match the configuration")
+
+    # ------------------------------------------------------------------
+    # Projections
+    # ------------------------------------------------------------------
+    def _split_in_proj(self, zxbcdt: np.ndarray) -> Tuple[np.ndarray, ...]:
+        """Split the input-projection output into ``z, xBC, dt`` (last axis)."""
+        cfg = self.config
+        z = zxbcdt[..., : cfg.d_inner]
+        xbc = zxbcdt[..., cfg.d_inner : cfg.d_inner + cfg.conv_dim]
+        dt = zxbcdt[..., cfg.d_inner + cfg.conv_dim :]
+        return z, xbc, dt
+
+    def _split_xbc(self, xbc: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        cfg = self.config
+        x = xbc[..., : cfg.d_inner]
+        b = xbc[..., cfg.d_inner : cfg.d_inner + cfg.d_bc]
+        c = xbc[..., cfg.d_inner + cfg.d_bc :]
+        return x, b, c
+
+    def _ssm_step(self, *args):
+        fn = self.ssm_impl if self.ssm_impl is not None else ssm_step
+        return fn(*args)
+
+    # ------------------------------------------------------------------
+    # Decode (one token)
+    # ------------------------------------------------------------------
+    def step(
+        self,
+        u: np.ndarray,
+        cache: LayerCache,
+        collect: Optional[Dict[str, np.ndarray]] = None,
+    ) -> np.ndarray:
+        """Process one token of shape ``(d_model,)``, updating ``cache`` in place.
+
+        Parameters
+        ----------
+        u:
+            Residual-stream input of shape ``(d_model,)``.
+        cache:
+            The layer's recurrent state; its ``conv_state`` and ``ssm_state``
+            are replaced with the post-step values.
+        collect:
+            Optional dictionary that receives named intermediate activations
+            (used by calibration and by the activation-distribution figure).
+        """
+        cfg = self.config
+        u = np.asarray(u, dtype=np.float64)
+        if u.shape != (cfg.d_model,):
+            raise ValueError(f"expected input of shape ({cfg.d_model},), got {u.shape}")
+
+        residual = u
+        r = self.norm(u)
+        r_q = self.pre_in_proj(r)
+        zxbcdt = r_q @ self.in_proj_weight.T
+        if self.in_proj_bias is not None:
+            zxbcdt = zxbcdt + self.in_proj_bias
+        z, xbc, dt = self._split_in_proj(zxbcdt)
+
+        xbc_conv, new_conv_state = self.conv.step(xbc, cache.conv_state)
+        cache.conv_state = new_conv_state
+        x, b, c = self._split_xbc(xbc_conv)
+        x_heads = x.reshape(cfg.nheads, cfg.headdim)
+
+        y_heads, new_ssm_state = self._ssm_step(
+            self.ssm, x_heads, b, c, dt, cache.ssm_state
+        )
+        cache.ssm_state = new_ssm_state
+        y = y_heads.reshape(cfg.d_inner)
+
+        gated = self.gated_norm(y, z)
+        gated_q = self.pre_out_proj(gated)
+        out = gated_q @ self.out_proj_weight.T
+        if self.out_proj_bias is not None:
+            out = out + self.out_proj_bias
+
+        if collect is not None:
+            collect["in_proj_input"] = r
+            collect["out_proj_input"] = gated
+            collect["z"] = z
+            collect["x"] = x
+            collect["B"] = b
+            collect["C"] = c
+            collect["dt"] = dt
+            collect["ssm_output"] = y
+            collect["block_output"] = residual + out
+        return residual + out
+
+    # ------------------------------------------------------------------
+    # Prefill (full sequence)
+    # ------------------------------------------------------------------
+    def forward(
+        self,
+        u: np.ndarray,
+        cache: Optional[LayerCache] = None,
+        collect: Optional[Dict[str, np.ndarray]] = None,
+    ) -> np.ndarray:
+        """Process a full sequence of shape ``(seq_len, d_model)``.
+
+        If ``cache`` is provided it is updated to the state after the last
+        token so that decoding can continue from the prompt.
+        """
+        cfg = self.config
+        u = np.asarray(u, dtype=np.float64)
+        if u.ndim != 2 or u.shape[1] != cfg.d_model:
+            raise ValueError(
+                f"expected input of shape (seq_len, {cfg.d_model}), got {u.shape}"
+            )
+        residual = u
+        r = self.norm(u)
+        r_q = self.pre_in_proj(r)
+        zxbcdt = r_q @ self.in_proj_weight.T
+        if self.in_proj_bias is not None:
+            zxbcdt = zxbcdt + self.in_proj_bias
+        z, xbc, dt = self._split_in_proj(zxbcdt)
+
+        xbc_conv = self.conv.forward(xbc)
+        x, b, c = self._split_xbc(xbc_conv)
+        seq_len = u.shape[0]
+        x_heads = x.reshape(seq_len, cfg.nheads, cfg.headdim)
+
+        if self.ssm_impl is None:
+            initial = None if cache is None else cache.ssm_state
+            y_heads, final_state = ssm_scan(self.ssm, x_heads, b, c, dt, initial)
+        else:
+            # A custom (e.g. quantized) step function: run it sequentially.
+            state = (
+                np.zeros((cfg.nheads, cfg.headdim, cfg.d_state))
+                if cache is None
+                else cache.ssm_state.copy()
+            )
+            y_heads = np.zeros_like(x_heads)
+            for t in range(seq_len):
+                y_heads[t], state = self.ssm_impl(
+                    self.ssm, x_heads[t], b[t], c[t], dt[t], state
+                )
+            final_state = state
+
+        y = y_heads.reshape(seq_len, cfg.d_inner)
+        gated = self.gated_norm(y, z)
+        gated_q = self.pre_out_proj(gated)
+        out = gated_q @ self.out_proj_weight.T
+        if self.out_proj_bias is not None:
+            out = out + self.out_proj_bias
+
+        if cache is not None:
+            cache.ssm_state = final_state
+            # Rebuild the convolution window from the last d_conv inputs.
+            k = cfg.d_conv
+            window = np.zeros((cfg.conv_dim, k))
+            tail = xbc[-k:] if seq_len >= k else xbc
+            window[:, k - tail.shape[0] :] = tail.T
+            cache.conv_state = window
+
+        if collect is not None:
+            collect["in_proj_input"] = r
+            collect["out_proj_input"] = gated
+            collect["z"] = z
+            collect["x"] = x
+            collect["B"] = b
+            collect["C"] = c
+            collect["dt"] = dt
+            collect["ssm_output"] = y
+            collect["block_output"] = residual + out
+        return residual + out
+
+    __call__ = forward
+
+    # ------------------------------------------------------------------
+    # Utilities
+    # ------------------------------------------------------------------
+    def copy(self) -> "MambaBlock":
+        """Deep copy of the block (hooks are carried over by reference)."""
+        return MambaBlock(
+            config=self.config,
+            norm=self.norm.copy(),
+            in_proj_weight=self.in_proj_weight.copy(),
+            conv=self.conv.copy(),
+            ssm=self.ssm.copy(),
+            gated_norm=self.gated_norm.copy(),
+            out_proj_weight=self.out_proj_weight.copy(),
+            layer_idx=self.layer_idx,
+            in_proj_bias=None if self.in_proj_bias is None else self.in_proj_bias.copy(),
+            out_proj_bias=None if self.out_proj_bias is None else self.out_proj_bias.copy(),
+            pre_in_proj=self.pre_in_proj,
+            pre_out_proj=self.pre_out_proj,
+            ssm_impl=self.ssm_impl,
+        )
+
+    def num_parameters(self) -> int:
+        """Parameter count of this block."""
+        return int(
+            self.in_proj_weight.size
+            + self.out_proj_weight.size
+            + self.conv.weight.size
+            + self.conv.bias.size
+            + self.ssm.A_log.size
+            + self.ssm.D.size
+            + self.ssm.dt_bias.size
+            + self.norm.weight.size
+            + self.gated_norm.weight.size
+        )

@@ -1,0 +1,78 @@
+"""Inference caches for autoregressive decode.
+
+Unlike Transformers, Mamba stores a *fixed-size* recurrent state per layer: a
+convolution window and the SSM hidden state.  The paper exploits exactly this
+property (Sec. I, Fig. 9a) -- decode cost does not grow with the generated
+sequence length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.mamba.config import Mamba2Config
+
+__all__ = ["LayerCache", "InferenceCache"]
+
+
+@dataclass
+class LayerCache:
+    """Recurrent state of one Mamba2 block.
+
+    Attributes
+    ----------
+    conv_state:
+        Rolling convolution window, shape ``(conv_dim, d_conv)``.
+    ssm_state:
+        SSM hidden state ``h``, shape ``(nheads, headdim, d_state)``.
+    """
+
+    conv_state: np.ndarray
+    ssm_state: np.ndarray
+
+    @classmethod
+    def zeros(cls, config: Mamba2Config) -> "LayerCache":
+        return cls(
+            conv_state=np.zeros((config.conv_dim, config.d_conv), dtype=np.float64),
+            ssm_state=np.zeros(
+                (config.nheads, config.headdim, config.d_state), dtype=np.float64
+            ),
+        )
+
+    def copy(self) -> "LayerCache":
+        return LayerCache(self.conv_state.copy(), self.ssm_state.copy())
+
+    def num_elements(self) -> int:
+        """Total scalars held by this layer's recurrent state."""
+        return int(self.conv_state.size + self.ssm_state.size)
+
+
+@dataclass
+class InferenceCache:
+    """Recurrent state of the full model (one :class:`LayerCache` per block)."""
+
+    layers: List[LayerCache]
+
+    @classmethod
+    def zeros(cls, config: Mamba2Config) -> "InferenceCache":
+        return cls(layers=[LayerCache.zeros(config) for _ in range(config.n_layer)])
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, idx: int) -> LayerCache:
+        return self.layers[idx]
+
+    def copy(self) -> "InferenceCache":
+        return InferenceCache(layers=[layer.copy() for layer in self.layers])
+
+    def num_elements(self) -> int:
+        """Total scalars held by the model's recurrent state."""
+        return sum(layer.num_elements() for layer in self.layers)
+
+    def num_bytes(self, bytes_per_element: int = 2) -> int:
+        """Cache footprint in bytes (default FP16 storage)."""
+        return self.num_elements() * bytes_per_element

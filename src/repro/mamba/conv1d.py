@@ -1,0 +1,125 @@
+"""Short causal depthwise 1-d convolution.
+
+Mamba2 applies a depthwise causal convolution with a small kernel (typically
+4) to the concatenated ``[x, B, C]`` channels produced by the input projection
+(the ``Conv`` box in Fig. 1 of the paper).  During decode the convolution is
+evaluated incrementally against a rolling per-channel state window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mamba.ops import silu
+
+__all__ = ["CausalConv1d"]
+
+
+@dataclass
+class CausalConv1d:
+    """Depthwise causal 1-d convolution followed by a SiLU activation.
+
+    Attributes
+    ----------
+    weight:
+        Kernel of shape ``(channels, kernel_size)``; ``weight[:, -1]`` is the
+        tap applied to the current time step.
+    bias:
+        Per-channel bias of shape ``(channels,)``.
+    activation:
+        If ``True`` (default, matching Mamba2) a SiLU is applied to the output.
+    """
+
+    weight: np.ndarray
+    bias: np.ndarray
+    activation: bool = True
+
+    def __post_init__(self) -> None:
+        self.weight = np.asarray(self.weight, dtype=np.float64)
+        self.bias = np.asarray(self.bias, dtype=np.float64)
+        if self.weight.ndim != 2:
+            raise ValueError("conv weight must have shape (channels, kernel_size)")
+        if self.bias.shape != (self.weight.shape[0],):
+            raise ValueError("conv bias must have shape (channels,)")
+
+    @property
+    def channels(self) -> int:
+        return self.weight.shape[0]
+
+    @property
+    def kernel_size(self) -> int:
+        return self.weight.shape[1]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Apply the causal convolution to a full sequence.
+
+        Parameters
+        ----------
+        x:
+            Array of shape ``(seq_len, channels)``.
+
+        Returns
+        -------
+        Array of shape ``(seq_len, channels)``.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.channels:
+            raise ValueError(
+                f"expected input of shape (seq_len, {self.channels}), got {x.shape}"
+            )
+        seq_len = x.shape[0]
+        k = self.kernel_size
+        padded = np.concatenate([np.zeros((k - 1, self.channels)), x], axis=0)
+        out = np.zeros_like(x)
+        for tap in range(k):
+            out += padded[tap : tap + seq_len] * self.weight[:, tap]
+        out = out + self.bias
+        if self.activation:
+            out = silu(out)
+        return out
+
+    def step(self, x_t: np.ndarray, conv_state: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Incremental (decode-time) convolution for one time step.
+
+        Parameters
+        ----------
+        x_t:
+            Current input of shape ``(channels,)``.
+        conv_state:
+            Rolling window of the most recent ``kernel_size`` inputs, shape
+            ``(channels, kernel_size)``; ``conv_state[:, -1]`` is the most
+            recent sample *before* this step.
+
+        Returns
+        -------
+        (output, new_conv_state)
+            ``output`` has shape ``(channels,)`` and ``new_conv_state`` has the
+            same shape as ``conv_state``.
+        """
+        x_t = np.asarray(x_t, dtype=np.float64)
+        conv_state = np.asarray(conv_state, dtype=np.float64)
+        if x_t.shape != (self.channels,):
+            raise ValueError(f"expected x_t of shape ({self.channels},), got {x_t.shape}")
+        if conv_state.shape != (self.channels, self.kernel_size):
+            raise ValueError(
+                "expected conv_state of shape "
+                f"({self.channels}, {self.kernel_size}), got {conv_state.shape}"
+            )
+        new_state = np.empty_like(conv_state)
+        new_state[:, :-1] = conv_state[:, 1:]
+        new_state[:, -1] = x_t
+        out = np.sum(new_state * self.weight, axis=1) + self.bias
+        if self.activation:
+            out = silu(out)
+        return out, new_state
+
+    def initial_state(self) -> np.ndarray:
+        """Return an all-zero convolution state."""
+        return np.zeros((self.channels, self.kernel_size), dtype=np.float64)
+
+    def copy(self) -> "CausalConv1d":
+        return CausalConv1d(
+            weight=self.weight.copy(), bias=self.bias.copy(), activation=self.activation
+        )

@@ -1,0 +1,123 @@
+"""Autoregressive generation on top of the Mamba2 decode path.
+
+Decode uses the fixed-size :class:`~repro.mamba.cache.InferenceCache`, so the
+per-token cost is independent of how many tokens have been generated -- the
+property the LightMamba accelerator exploits (Fig. 9a of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.mamba.model import Mamba2Model
+from repro.mamba.ops import softmax
+
+__all__ = ["GenerationResult", "greedy_decode", "sample_decode"]
+
+
+@dataclass
+class GenerationResult:
+    """Outcome of an autoregressive generation run.
+
+    Attributes
+    ----------
+    prompt:
+        The prompt token ids.
+    tokens:
+        The generated token ids (prompt excluded).
+    logprobs:
+        Log-probability of each generated token under the model.
+    """
+
+    prompt: List[int]
+    tokens: List[int]
+    logprobs: List[float] = field(default_factory=list)
+
+    @property
+    def full_sequence(self) -> List[int]:
+        return list(self.prompt) + list(self.tokens)
+
+    def __len__(self) -> int:
+        return len(self.tokens)
+
+
+def _check_prompt(prompt, vocab_size: int) -> np.ndarray:
+    prompt = np.asarray(prompt, dtype=np.int64)
+    if prompt.ndim != 1 or prompt.size == 0:
+        raise ValueError("prompt must be a non-empty 1-d sequence of token ids")
+    if prompt.min() < 0 or prompt.max() >= vocab_size:
+        raise ValueError("prompt token id out of range")
+    return prompt
+
+
+def greedy_decode(
+    model: Mamba2Model,
+    prompt,
+    max_new_tokens: int,
+    stop_token: Optional[int] = None,
+) -> GenerationResult:
+    """Greedy (argmax) decoding.
+
+    Parameters
+    ----------
+    model:
+        The (possibly quantized) Mamba2 model.
+    prompt:
+        Sequence of prompt token ids.
+    max_new_tokens:
+        Maximum number of tokens to generate.
+    stop_token:
+        Optional token id that terminates generation when produced.
+    """
+    prompt = _check_prompt(prompt, model.config.vocab_size)
+    if max_new_tokens < 0:
+        raise ValueError("max_new_tokens must be non-negative")
+    logits, cache = model.prefill(prompt)
+    tokens: List[int] = []
+    logprobs: List[float] = []
+    for _ in range(max_new_tokens):
+        probs = softmax(logits)
+        next_token = int(np.argmax(logits))
+        tokens.append(next_token)
+        logprobs.append(float(np.log(probs[next_token] + 1e-300)))
+        if stop_token is not None and next_token == stop_token:
+            break
+        logits = model.step(next_token, cache)
+    return GenerationResult(prompt=list(map(int, prompt)), tokens=tokens, logprobs=logprobs)
+
+
+def sample_decode(
+    model: Mamba2Model,
+    prompt,
+    max_new_tokens: int,
+    temperature: float = 1.0,
+    top_k: Optional[int] = None,
+    seed: int = 0,
+    stop_token: Optional[int] = None,
+) -> GenerationResult:
+    """Temperature / top-k sampling decode."""
+    prompt = _check_prompt(prompt, model.config.vocab_size)
+    if temperature <= 0:
+        raise ValueError("temperature must be positive; use greedy_decode for argmax")
+    if top_k is not None and top_k <= 0:
+        raise ValueError("top_k must be positive when given")
+    rng = np.random.default_rng(seed)
+    logits, cache = model.prefill(prompt)
+    tokens: List[int] = []
+    logprobs: List[float] = []
+    for _ in range(max_new_tokens):
+        scaled = logits / temperature
+        if top_k is not None and top_k < scaled.shape[-1]:
+            kth = np.partition(scaled, -top_k)[-top_k]
+            scaled = np.where(scaled < kth, -np.inf, scaled)
+        probs = softmax(scaled)
+        next_token = int(rng.choice(len(probs), p=probs))
+        tokens.append(next_token)
+        logprobs.append(float(np.log(probs[next_token] + 1e-300)))
+        if stop_token is not None and next_token == stop_token:
+            break
+        logits = model.step(next_token, cache)
+    return GenerationResult(prompt=list(map(int, prompt)), tokens=tokens, logprobs=logprobs)

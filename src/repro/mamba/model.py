@@ -1,0 +1,201 @@
+"""The full Mamba2 language model.
+
+``Mamba2Model`` stacks the embedding table, ``n_layer`` Mamba2 blocks, a final
+RMSNorm and the LM head (tied to the embedding by default).  It supports:
+
+- :meth:`forward` -- full-sequence evaluation returning per-position logits
+  (used for perplexity / calibration);
+- :meth:`prefill` + :meth:`step` -- prompt summarisation followed by
+  autoregressive single-token decode against a fixed-size
+  :class:`~repro.mamba.cache.InferenceCache`;
+- activation collection hooks used by calibration and by the figures that
+  visualise activation distributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.mamba.block import MambaBlock
+from repro.mamba.cache import InferenceCache
+from repro.mamba.config import Mamba2Config
+from repro.mamba.init import InitConfig, init_block_params, init_embedding
+from repro.mamba.rmsnorm import RMSNorm
+
+__all__ = ["Mamba2Model"]
+
+
+@dataclass
+class Mamba2Model:
+    """A complete Mamba2 language model over numpy parameters."""
+
+    config: Mamba2Config
+    embedding: np.ndarray                 # (vocab, d_model)
+    blocks: List[MambaBlock]
+    norm_f: RMSNorm
+    lm_head_weight: Optional[np.ndarray] = None  # (vocab, d_model); None = tied
+
+    def __post_init__(self) -> None:
+        cfg = self.config
+        self.embedding = np.asarray(self.embedding, dtype=np.float64)
+        if self.embedding.shape != (cfg.vocab_size, cfg.d_model):
+            raise ValueError(
+                f"embedding must have shape ({cfg.vocab_size}, {cfg.d_model}), "
+                f"got {self.embedding.shape}"
+            )
+        if len(self.blocks) != cfg.n_layer:
+            raise ValueError(
+                f"expected {cfg.n_layer} blocks, got {len(self.blocks)}"
+            )
+        if self.lm_head_weight is not None:
+            self.lm_head_weight = np.asarray(self.lm_head_weight, dtype=np.float64)
+            if self.lm_head_weight.shape != (cfg.vocab_size, cfg.d_model):
+                raise ValueError("lm_head_weight has the wrong shape")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_config(
+        cls, config: Mamba2Config, init: Optional[InitConfig] = None
+    ) -> "Mamba2Model":
+        """Build a synthetic model from a configuration.
+
+        The initialisation injects the activation-outlier structure described
+        in :mod:`repro.mamba.init` unless an explicit ``init`` disables it.
+        """
+        init = init or InitConfig()
+        embedding = init_embedding(config, init)
+        blocks = [
+            MambaBlock(config=config, layer_idx=i, **init_block_params(config, init, i))
+            for i in range(config.n_layer)
+        ]
+        rng = np.random.default_rng(init.seed + 777)
+        norm_f = RMSNorm(
+            init.final_norm_scale
+            * (np.ones(config.d_model) + 0.05 * rng.normal(size=config.d_model)),
+            eps=config.norm_eps,
+        )
+        lm_head = None
+        if not config.tie_embeddings:
+            lm_head = rng.normal(
+                0.0, 1.0 / np.sqrt(config.d_model), size=(config.vocab_size, config.d_model)
+            )
+        return cls(
+            config=config,
+            embedding=embedding,
+            blocks=blocks,
+            norm_f=norm_f,
+            lm_head_weight=lm_head,
+        )
+
+    # ------------------------------------------------------------------
+    # Heads
+    # ------------------------------------------------------------------
+    @property
+    def head_weight(self) -> np.ndarray:
+        """The LM-head weight (the embedding matrix when tied)."""
+        if self.lm_head_weight is not None:
+            return self.lm_head_weight
+        return self.embedding
+
+    def embed(self, tokens: np.ndarray) -> np.ndarray:
+        """Look up token embeddings; ``tokens`` is an int array of any shape."""
+        tokens = np.asarray(tokens, dtype=np.int64)
+        if tokens.size and (tokens.min() < 0 or tokens.max() >= self.config.vocab_size):
+            raise ValueError("token id out of range")
+        return self.embedding[tokens]
+
+    def logits_from_hidden(self, hidden: np.ndarray) -> np.ndarray:
+        """Apply the final norm and LM head to residual-stream activations."""
+        normed = self.norm_f(hidden)
+        return normed @ self.head_weight.T
+
+    # ------------------------------------------------------------------
+    # Full-sequence evaluation
+    # ------------------------------------------------------------------
+    def forward(
+        self,
+        tokens: np.ndarray,
+        collect: Optional[List[Dict[str, np.ndarray]]] = None,
+    ) -> np.ndarray:
+        """Evaluate the model on a token sequence.
+
+        Parameters
+        ----------
+        tokens:
+            Integer array of shape ``(seq_len,)``.
+        collect:
+            Optional list; if provided it receives one dictionary of captured
+            activations per block.
+
+        Returns
+        -------
+        Logits of shape ``(seq_len, vocab_size)``.
+        """
+        tokens = np.asarray(tokens, dtype=np.int64)
+        if tokens.ndim != 1:
+            raise ValueError("tokens must be a 1-d integer array")
+        hidden = self.embed(tokens)
+        for block in self.blocks:
+            block_collect: Optional[Dict[str, np.ndarray]] = None
+            if collect is not None:
+                block_collect = {}
+                collect.append(block_collect)
+            hidden = block.forward(hidden, collect=block_collect)
+        return self.logits_from_hidden(hidden)
+
+    __call__ = forward
+
+    # ------------------------------------------------------------------
+    # Decode
+    # ------------------------------------------------------------------
+    def prefill(self, tokens: np.ndarray) -> tuple[np.ndarray, InferenceCache]:
+        """Summarise a prompt and return (last-token logits, cache)."""
+        tokens = np.asarray(tokens, dtype=np.int64)
+        cache = InferenceCache.zeros(self.config)
+        hidden = self.embed(tokens)
+        for i, block in enumerate(self.blocks):
+            hidden = block.forward(hidden, cache=cache.layers[i])
+        logits = self.logits_from_hidden(hidden[-1])
+        return logits, cache
+
+    def step(
+        self,
+        token: int,
+        cache: InferenceCache,
+        collect: Optional[List[Dict[str, np.ndarray]]] = None,
+    ) -> np.ndarray:
+        """Decode one token given the recurrent cache; returns next-token logits."""
+        hidden = self.embed(np.asarray([token], dtype=np.int64))[0]
+        for i, block in enumerate(self.blocks):
+            block_collect: Optional[Dict[str, np.ndarray]] = None
+            if collect is not None:
+                block_collect = {}
+                collect.append(block_collect)
+            hidden = block.step(hidden, cache.layers[i], collect=block_collect)
+        return self.logits_from_hidden(hidden)
+
+    # ------------------------------------------------------------------
+    # Utilities
+    # ------------------------------------------------------------------
+    def num_parameters(self) -> int:
+        """Total parameter count (embedding included, head counted once if tied)."""
+        total = int(self.embedding.size + self.norm_f.weight.size)
+        if self.lm_head_weight is not None:
+            total += int(self.lm_head_weight.size)
+        total += sum(block.num_parameters() for block in self.blocks)
+        return total
+
+    def copy(self) -> "Mamba2Model":
+        """Deep copy of the model (parameters duplicated, hooks by reference)."""
+        return Mamba2Model(
+            config=self.config,
+            embedding=self.embedding.copy(),
+            blocks=[block.copy() for block in self.blocks],
+            norm_f=self.norm_f.copy(),
+            lm_head_weight=None if self.lm_head_weight is None else self.lm_head_weight.copy(),
+        )

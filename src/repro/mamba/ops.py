@@ -1,0 +1,90 @@
+"""Elementary numerical operators used throughout the Mamba2 model.
+
+These mirror the operator boxes of Fig. 1 in the paper (SiLU, Softplus, Exp,
+element-wise multiplication, RMS normalisation).  They are written for numpy
+arrays of arbitrary shape and are numerically stable for the ranges produced
+by the model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "silu",
+    "sigmoid",
+    "softplus",
+    "softmax",
+    "rms_normalize",
+    "cross_entropy",
+]
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic sigmoid."""
+    x = np.asarray(x, dtype=np.float64)
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+def silu(x: np.ndarray) -> np.ndarray:
+    """SiLU (swish) activation: ``x * sigmoid(x)``."""
+    x = np.asarray(x, dtype=np.float64)
+    return x * sigmoid(x)
+
+
+def softplus(x: np.ndarray) -> np.ndarray:
+    """Numerically stable softplus: ``log(1 + exp(x))``.
+
+    Used to produce the positive step size ``delta`` from the raw ``dt``
+    output of the input projection.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    return np.where(x > 20.0, x, np.log1p(np.exp(np.minimum(x, 20.0))))
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Softmax along ``axis`` with max subtraction for stability."""
+    x = np.asarray(x, dtype=np.float64)
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    ex = np.exp(shifted)
+    return ex / np.sum(ex, axis=axis, keepdims=True)
+
+
+def rms_normalize(x: np.ndarray, eps: float = 1e-5, axis: int = -1) -> np.ndarray:
+    """Root-mean-square normalisation without a learned scale.
+
+    ``x / sqrt(mean(x^2) + eps)`` along ``axis``.  The learned per-channel
+    scale is applied by :class:`repro.mamba.rmsnorm.RMSNorm` so that the
+    rotation-assisted quantization pass can split it off and fuse it into the
+    following linear layer (Sec. IV-A of the paper).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    ms = np.mean(np.square(x), axis=axis, keepdims=True)
+    return x / np.sqrt(ms + eps)
+
+
+def cross_entropy(logits: np.ndarray, targets: np.ndarray) -> float:
+    """Mean token-level cross entropy (nats).
+
+    Parameters
+    ----------
+    logits:
+        Array of shape ``(seq_len, vocab)``.
+    targets:
+        Integer array of shape ``(seq_len,)``.
+    """
+    logits = np.asarray(logits, dtype=np.float64)
+    targets = np.asarray(targets, dtype=np.int64)
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be 2-d, got shape {logits.shape}")
+    if targets.shape[0] != logits.shape[0]:
+        raise ValueError("logits and targets must have matching sequence length")
+    shifted = logits - np.max(logits, axis=-1, keepdims=True)
+    log_z = np.log(np.sum(np.exp(shifted), axis=-1))
+    picked = shifted[np.arange(len(targets)), targets]
+    return float(np.mean(log_z - picked))

@@ -1,0 +1,97 @@
+"""RMS normalisation layers.
+
+Two variants are used in Mamba2 (Fig. 1 of the paper):
+
+- :class:`RMSNorm` -- the pre-block and final normalisation of the residual
+  stream.
+- :class:`GatedRMSNorm` -- the normalisation applied to the SSM output after
+  gating with ``silu(z)`` and before the output projection.  Its learned scale
+  is the one the paper chooses *not* to fuse into the output projection weight
+  (Fig. 4b), so the layer exposes the scale separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.mamba.ops import rms_normalize, silu
+
+__all__ = ["RMSNorm", "GatedRMSNorm"]
+
+
+@dataclass
+class RMSNorm:
+    """RMS normalisation with a learned per-channel scale.
+
+    ``y = x / sqrt(mean(x^2) + eps) * weight``
+    """
+
+    weight: np.ndarray
+    eps: float = 1e-5
+
+    def __post_init__(self) -> None:
+        self.weight = np.asarray(self.weight, dtype=np.float64)
+        if self.weight.ndim != 1:
+            raise ValueError("RMSNorm weight must be 1-d")
+
+    @property
+    def dim(self) -> int:
+        return self.weight.shape[0]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Apply the normalisation along the last axis."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape[-1] != self.dim:
+            raise ValueError(
+                f"input last dim {x.shape[-1]} does not match norm dim {self.dim}"
+            )
+        return rms_normalize(x, eps=self.eps) * self.weight
+
+    __call__ = forward
+
+    def copy(self) -> "RMSNorm":
+        return RMSNorm(weight=self.weight.copy(), eps=self.eps)
+
+
+@dataclass
+class GatedRMSNorm:
+    """Gated RMSNorm used before the output projection in Mamba2.
+
+    ``y = rmsnorm(x * silu(z)) * weight``
+
+    The gate ``z`` comes from the input projection; the normalisation is
+    applied after gating (the ``norm_before_gate=False`` convention of the
+    reference Mamba2 implementation).
+    """
+
+    weight: np.ndarray
+    eps: float = 1e-5
+
+    def __post_init__(self) -> None:
+        self.weight = np.asarray(self.weight, dtype=np.float64)
+        if self.weight.ndim != 1:
+            raise ValueError("GatedRMSNorm weight must be 1-d")
+
+    @property
+    def dim(self) -> int:
+        return self.weight.shape[0]
+
+    def forward(self, x: np.ndarray, z: np.ndarray) -> np.ndarray:
+        """Gate ``x`` with ``silu(z)`` and normalise along the last axis."""
+        x = np.asarray(x, dtype=np.float64)
+        z = np.asarray(z, dtype=np.float64)
+        if x.shape != z.shape:
+            raise ValueError(f"x and z must have the same shape, got {x.shape} vs {z.shape}")
+        if x.shape[-1] != self.dim:
+            raise ValueError(
+                f"input last dim {x.shape[-1]} does not match norm dim {self.dim}"
+            )
+        gated = x * silu(z)
+        return rms_normalize(gated, eps=self.eps) * self.weight
+
+    __call__ = forward
+
+    def copy(self) -> "GatedRMSNorm":
+        return GatedRMSNorm(weight=self.weight.copy(), eps=self.eps)

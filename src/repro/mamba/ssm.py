@@ -1,0 +1,322 @@
+"""The SSM (selective state space) recurrence of Mamba2.
+
+This module implements the computation graph of the SSM layer exactly as drawn
+in Fig. 1 of the LightMamba paper::
+
+    delta  = softplus(dt + dt_bias)            # (h,)
+    A_bar  = exp(delta * A)                    # (h,)      Delta (.) A -> Exp
+    B_bar  = delta * B                         # (h, n)    Delta (.) B
+    h_t    = A_bar (.) h_{t-1} + B_bar (.) x   # (h, p, n) outer products
+    y      = h_t . C + D (.) x                 # (h, p)    matrix mul + skip
+
+where ``h`` is the number of heads, ``p`` the head channel dimension and ``n``
+the SSM state dimension.  ``ssm_step`` advances one token; ``ssm_scan`` applies
+the recurrence over a whole sequence (used for prefill).
+
+All element-wise products of the step are also exposed individually through
+:func:`ssm_step_trace` so that the SSM quantization pass
+(:mod:`repro.quant.ssm_quant`) and the SSMU hardware model
+(:mod:`repro.hardware.ssmu`) can operate on the exact same operator
+decomposition the accelerator implements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.mamba.ops import softplus
+
+__all__ = [
+    "SSMParams",
+    "ssm_step",
+    "ssm_step_trace",
+    "ssm_scan",
+    "ssd_chunked_scan",
+    "selective_state_update",
+    "SSM_ELEMENTWISE_OPS",
+]
+
+
+#: Names of the element-wise operators of the SSM layer, matching Fig. 3 of the
+#: paper (used by the hardware cost model and the PoT quantization study).
+SSM_ELEMENTWISE_OPS = (
+    "delta_mul_A",   # Delta (.) A   (argument of the exponential)
+    "delta_mul_B",   # Delta (.) B   (B_bar)
+    "B_mul_x",       # B_bar (.) x   (state update input, outer product)
+    "A_mul_h",       # A_bar (.) h_{t-1}
+    "h_mul_C",       # h_t . C       (state readout)
+    "x_mul_D",       # D (.) x       (skip connection)
+)
+
+
+@dataclass
+class SSMParams:
+    """Per-layer SSM parameters.
+
+    Attributes
+    ----------
+    A_log:
+        Shape ``(nheads,)``; the continuous-time decay is ``A = -exp(A_log)``.
+    D:
+        Skip-connection coefficient, shape ``(nheads,)``.
+    dt_bias:
+        Bias added to the raw ``dt`` before the softplus, shape ``(nheads,)``.
+    """
+
+    A_log: np.ndarray
+    D: np.ndarray
+    dt_bias: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.A_log = np.asarray(self.A_log, dtype=np.float64)
+        self.D = np.asarray(self.D, dtype=np.float64)
+        self.dt_bias = np.asarray(self.dt_bias, dtype=np.float64)
+        if not (self.A_log.shape == self.D.shape == self.dt_bias.shape):
+            raise ValueError("A_log, D and dt_bias must all have shape (nheads,)")
+        if self.A_log.ndim != 1:
+            raise ValueError("SSM parameters must be 1-d (per head)")
+
+    @property
+    def nheads(self) -> int:
+        return self.A_log.shape[0]
+
+    @property
+    def A(self) -> np.ndarray:
+        """Continuous-time state matrix diagonal (negative, per head)."""
+        return -np.exp(self.A_log)
+
+    def copy(self) -> "SSMParams":
+        return SSMParams(self.A_log.copy(), self.D.copy(), self.dt_bias.copy())
+
+
+def _validate_step_inputs(
+    params: SSMParams,
+    x: np.ndarray,
+    B: np.ndarray,
+    C: np.ndarray,
+    dt: np.ndarray,
+    state: np.ndarray,
+) -> None:
+    nheads = params.nheads
+    if x.ndim != 2 or x.shape[0] != nheads:
+        raise ValueError(f"x must have shape (nheads, headdim), got {x.shape}")
+    headdim = x.shape[1]
+    if B.ndim != 1 or C.ndim != 1 or B.shape != C.shape:
+        raise ValueError("B and C must be 1-d arrays of shape (d_state,)")
+    d_state = B.shape[0]
+    if dt.shape != (nheads,):
+        raise ValueError(f"dt must have shape ({nheads},), got {dt.shape}")
+    if state.shape != (nheads, headdim, d_state):
+        raise ValueError(
+            f"state must have shape ({nheads}, {headdim}, {d_state}), got {state.shape}"
+        )
+
+
+def ssm_step_trace(
+    params: SSMParams,
+    x: np.ndarray,
+    B: np.ndarray,
+    C: np.ndarray,
+    dt: np.ndarray,
+    state: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, Dict[str, np.ndarray]]:
+    """Advance the SSM recurrence one step, returning all intermediates.
+
+    Parameters
+    ----------
+    params:
+        The per-layer :class:`SSMParams`.
+    x:
+        Input of shape ``(nheads, headdim)``.
+    B, C:
+        Input-dependent projections of shape ``(d_state,)`` (``ngroups == 1``).
+    dt:
+        Raw per-head step size of shape ``(nheads,)`` (before softplus).
+    state:
+        Previous hidden state ``h_{t-1}`` of shape ``(nheads, headdim, d_state)``.
+
+    Returns
+    -------
+    (y, new_state, trace)
+        ``y`` has shape ``(nheads, headdim)``, ``new_state`` the same shape as
+        ``state`` and ``trace`` maps each name in :data:`SSM_ELEMENTWISE_OPS`
+        (plus ``"delta"``, ``"A_bar"``) to the corresponding intermediate
+        tensor.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    B = np.asarray(B, dtype=np.float64)
+    C = np.asarray(C, dtype=np.float64)
+    dt = np.asarray(dt, dtype=np.float64)
+    state = np.asarray(state, dtype=np.float64)
+    _validate_step_inputs(params, x, B, C, dt, state)
+
+    delta = softplus(dt + params.dt_bias)              # (h,)
+    delta_mul_A = delta * params.A                     # (h,)
+    A_bar = np.exp(delta_mul_A)                        # (h,)
+    delta_mul_B = delta[:, None] * B[None, :]          # (h, n)  B_bar
+    B_mul_x = delta_mul_B[:, None, :] * x[:, :, None]  # (h, p, n)
+    A_mul_h = A_bar[:, None, None] * state             # (h, p, n)
+    new_state = A_mul_h + B_mul_x                      # (h, p, n)
+    h_mul_C = new_state * C[None, None, :]             # (h, p, n)
+    y_ssm = np.sum(h_mul_C, axis=-1)                   # (h, p)
+    x_mul_D = params.D[:, None] * x                    # (h, p)
+    y = y_ssm + x_mul_D
+
+    trace = {
+        "delta": delta,
+        "delta_mul_A": delta_mul_A,
+        "A_bar": A_bar,
+        "delta_mul_B": delta_mul_B,
+        "B_mul_x": B_mul_x,
+        "A_mul_h": A_mul_h,
+        "h_mul_C": h_mul_C,
+        "x_mul_D": x_mul_D,
+    }
+    return y, new_state, trace
+
+
+def ssm_step(
+    params: SSMParams,
+    x: np.ndarray,
+    B: np.ndarray,
+    C: np.ndarray,
+    dt: np.ndarray,
+    state: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Advance the SSM recurrence one token (without intermediates)."""
+    y, new_state, _ = ssm_step_trace(params, x, B, C, dt, state)
+    return y, new_state
+
+
+# Alias matching the naming of the reference Mamba implementation.
+selective_state_update = ssm_step
+
+
+def ssm_scan(
+    params: SSMParams,
+    x: np.ndarray,
+    B: np.ndarray,
+    C: np.ndarray,
+    dt: np.ndarray,
+    initial_state: np.ndarray | None = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Run the SSM recurrence over a full sequence (prefill).
+
+    Parameters
+    ----------
+    x:
+        Shape ``(seq_len, nheads, headdim)``.
+    B, C:
+        Shape ``(seq_len, d_state)``.
+    dt:
+        Shape ``(seq_len, nheads)``.
+    initial_state:
+        Optional starting hidden state; zeros if omitted.
+
+    Returns
+    -------
+    (y, final_state)
+        ``y`` has shape ``(seq_len, nheads, headdim)``.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    B = np.asarray(B, dtype=np.float64)
+    C = np.asarray(C, dtype=np.float64)
+    dt = np.asarray(dt, dtype=np.float64)
+    if x.ndim != 3:
+        raise ValueError("x must have shape (seq_len, nheads, headdim)")
+    seq_len, nheads, headdim = x.shape
+    d_state = B.shape[-1]
+    if initial_state is None:
+        state = np.zeros((nheads, headdim, d_state), dtype=np.float64)
+    else:
+        state = np.array(initial_state, dtype=np.float64, copy=True)
+
+    y = np.zeros_like(x)
+    for t in range(seq_len):
+        y[t], state = ssm_step(params, x[t], B[t], C[t], dt[t], state)
+    return y, state
+
+
+def ssd_chunked_scan(
+    params: SSMParams,
+    x: np.ndarray,
+    B: np.ndarray,
+    C: np.ndarray,
+    dt: np.ndarray,
+    initial_state: np.ndarray | None = None,
+    chunk_size: int = 64,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Chunked SSD formulation of the prefill scan (Dao & Gu, 2024).
+
+    Mathematically identical to :func:`ssm_scan` but processes the sequence
+    chunk by chunk: within a chunk the output is computed from a dense
+    decay-weighted ``C B^T`` interaction matrix (the "quadratic" SSD form),
+    and only one recurrent state hand-off happens per chunk.  This is the
+    formulation a prefill engine would use to exploit matrix-matrix
+    parallelism; the tests verify it matches the sequential recurrence to
+    numerical precision.
+
+    Parameters
+    ----------
+    x:
+        Shape ``(seq_len, nheads, headdim)``.
+    B, C:
+        Shape ``(seq_len, d_state)``.
+    dt:
+        Shape ``(seq_len, nheads)`` (raw, before softplus).
+    initial_state:
+        Optional ``(nheads, headdim, d_state)`` starting state.
+    chunk_size:
+        Tokens per chunk.
+    """
+    if chunk_size <= 0:
+        raise ValueError("chunk_size must be positive")
+    x = np.asarray(x, dtype=np.float64)
+    B = np.asarray(B, dtype=np.float64)
+    C = np.asarray(C, dtype=np.float64)
+    dt = np.asarray(dt, dtype=np.float64)
+    if x.ndim != 3:
+        raise ValueError("x must have shape (seq_len, nheads, headdim)")
+    seq_len, nheads, headdim = x.shape
+    d_state = B.shape[-1]
+    if nheads != params.nheads:
+        raise ValueError("head count mismatch between x and params")
+
+    delta = softplus(dt + params.dt_bias)               # (T, h)
+    log_decay = delta * params.A                        # (T, h), negative
+    state = (
+        np.zeros((nheads, headdim, d_state), dtype=np.float64)
+        if initial_state is None
+        else np.array(initial_state, dtype=np.float64, copy=True)
+    )
+    y = np.zeros_like(x)
+
+    for start in range(0, seq_len, chunk_size):
+        stop = min(start + chunk_size, seq_len)
+        xc = x[start:stop]                              # (Q, h, p)
+        bc = B[start:stop]                              # (Q, n)
+        cc = C[start:stop]                              # (Q, n)
+        dc = delta[start:stop]                          # (Q, h)
+        lc = np.cumsum(log_decay[start:stop], axis=0)   # (Q, h) inclusive
+
+        # Dense decay-weighted interaction within the chunk (per head):
+        #   G[t, s] = exp(L_t - L_s) * (C_t . B_s) * delta_s   for s <= t.
+        cb = cc @ bc.T                                  # (Q, Q)
+        q_len = stop - start
+        causal = np.tril(np.ones((q_len, q_len)))
+        for head in range(nheads):
+            decay = np.exp(lc[:, head][:, None] - lc[:, head][None, :])
+            gate = cb * decay * dc[None, :, head] * causal
+            y[start:stop, head] = gate @ xc[:, head, :]
+            # Contribution of the carried-in state.
+            y[start:stop, head] += np.exp(lc[:, head])[:, None] * (state[head] @ cc.T).T
+            # Chunk-final state update.
+            carry = np.exp(lc[-1, head] - lc[:, head]) * dc[:, head]   # (Q,)
+            state[head] = np.exp(lc[-1, head]) * state[head] + np.einsum(
+                "q,qp,qn->pn", carry, xc[:, head, :], bc
+            )
+        y[start:stop] += params.D[None, :, None] * xc
+    return y, state

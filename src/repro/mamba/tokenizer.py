@@ -1,0 +1,55 @@
+"""A minimal byte-level tokenizer.
+
+The LightMamba evaluation uses the GPT-NeoX tokenizer of the published Mamba2
+checkpoints.  Since the reproduction works with synthetic models, this module
+provides a deterministic byte-level tokenizer that is sufficient for the
+examples: every byte maps to one token id, with a small set of reserved
+special tokens.  It keeps the examples self-contained without any external
+vocabulary files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+__all__ = ["ByteTokenizer"]
+
+
+@dataclass
+class ByteTokenizer:
+    """Byte-level tokenizer with ``bos`` / ``eos`` / ``pad`` specials.
+
+    Token ids 0..(num_special-1) are reserved for special tokens; byte value
+    ``b`` maps to id ``b + num_special``.
+    """
+
+    bos_id: int = 0
+    eos_id: int = 1
+    pad_id: int = 2
+    num_special: int = 3
+
+    @property
+    def vocab_size(self) -> int:
+        return 256 + self.num_special
+
+    def encode(self, text: str, add_bos: bool = True, add_eos: bool = False) -> List[int]:
+        """Encode a string to token ids."""
+        ids = [b + self.num_special for b in text.encode("utf-8")]
+        if add_bos:
+            ids = [self.bos_id] + ids
+        if add_eos:
+            ids = ids + [self.eos_id]
+        return ids
+
+    def decode(self, ids) -> str:
+        """Decode token ids back to a string (special tokens are dropped)."""
+        data = bytes(
+            i - self.num_special
+            for i in ids
+            if self.num_special <= i < self.vocab_size
+        )
+        return data.decode("utf-8", errors="replace")
+
+    def __len__(self) -> int:
+        return self.vocab_size

@@ -1,0 +1,135 @@
+"""Calibration: activation-statistics collection over a sample corpus.
+
+The paper calibrates SmoothQuant / OS+ / LightMamba with 128 random WikiText2
+sequences; this module runs the model over a list of token sequences and
+accumulates, per layer, the observers every method needs:
+
+- per-channel absolute maxima of the input-projection and output-projection
+  inputs (SmoothQuant);
+- per-channel minima / maxima of the same activations (Outlier Suppression+);
+- optionally the raw activation samples (bounded), used by Table II / Fig. 2
+  to measure quantization error on held-out data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.mamba.model import Mamba2Model
+from repro.quant.observers import AbsMaxObserver, MinMaxObserver
+
+__all__ = ["CalibrationResult", "collect_activation_stats"]
+
+#: Activation names captured per block (keys of the block ``collect`` dict).
+CALIBRATED_ACTIVATIONS = ("in_proj_input", "out_proj_input")
+
+
+@dataclass
+class CalibrationResult:
+    """Per-layer activation statistics gathered over the calibration set."""
+
+    num_layers: int
+    num_tokens: int
+    absmax: Dict[str, List[np.ndarray]]
+    minimum: Dict[str, List[np.ndarray]]
+    maximum: Dict[str, List[np.ndarray]]
+    samples: Dict[str, List[np.ndarray]] = field(default_factory=dict)
+
+    def in_proj_absmax(self, layer: int) -> np.ndarray:
+        return self.absmax["in_proj_input"][layer]
+
+    def out_proj_absmax(self, layer: int) -> np.ndarray:
+        return self.absmax["out_proj_input"][layer]
+
+    def in_proj_minmax(self, layer: int) -> tuple[np.ndarray, np.ndarray]:
+        return self.minimum["in_proj_input"][layer], self.maximum["in_proj_input"][layer]
+
+    def out_proj_minmax(self, layer: int) -> tuple[np.ndarray, np.ndarray]:
+        return self.minimum["out_proj_input"][layer], self.maximum["out_proj_input"][layer]
+
+    def sample(self, name: str, layer: int) -> np.ndarray:
+        """Concatenated stored activations for one layer (if collected)."""
+        if name not in self.samples:
+            raise KeyError(f"no samples stored for '{name}'")
+        return self.samples[name][layer]
+
+
+def collect_activation_stats(
+    model: Mamba2Model,
+    sequences: Sequence[np.ndarray],
+    store_samples: bool = False,
+    max_stored_tokens: int = 2048,
+) -> CalibrationResult:
+    """Run ``model`` over ``sequences`` and accumulate per-layer statistics.
+
+    Parameters
+    ----------
+    model:
+        The floating-point model to calibrate.
+    sequences:
+        Iterable of 1-d integer token arrays.
+    store_samples:
+        Also keep (bounded) raw activation rows for error measurements.
+    max_stored_tokens:
+        Cap on stored rows per layer and activation when ``store_samples``.
+    """
+    if not sequences:
+        raise ValueError("at least one calibration sequence is required")
+    n_layers = model.config.n_layer
+    absmax_obs = {
+        name: [AbsMaxObserver() for _ in range(n_layers)] for name in CALIBRATED_ACTIVATIONS
+    }
+    minmax_obs = {
+        name: [MinMaxObserver() for _ in range(n_layers)] for name in CALIBRATED_ACTIVATIONS
+    }
+    stored: Dict[str, List[List[np.ndarray]]] = {
+        name: [[] for _ in range(n_layers)] for name in CALIBRATED_ACTIVATIONS
+    }
+    stored_counts = {name: [0] * n_layers for name in CALIBRATED_ACTIVATIONS}
+
+    num_tokens = 0
+    for seq in sequences:
+        seq = np.asarray(seq, dtype=np.int64)
+        collect: List[Dict[str, np.ndarray]] = []
+        model.forward(seq, collect=collect)
+        num_tokens += int(seq.shape[0])
+        for layer, layer_acts in enumerate(collect):
+            for name in CALIBRATED_ACTIVATIONS:
+                acts = layer_acts[name]
+                absmax_obs[name][layer].update(acts)
+                minmax_obs[name][layer].update(acts)
+                if store_samples and stored_counts[name][layer] < max_stored_tokens:
+                    room = max_stored_tokens - stored_counts[name][layer]
+                    take = acts[:room]
+                    stored[name][layer].append(np.array(take, copy=True))
+                    stored_counts[name][layer] += take.shape[0]
+
+    absmax = {
+        name: [obs.result() for obs in observers] for name, observers in absmax_obs.items()
+    }
+    minimum = {
+        name: [obs.result()[0] for obs in observers] for name, observers in minmax_obs.items()
+    }
+    maximum = {
+        name: [obs.result()[1] for obs in observers] for name, observers in minmax_obs.items()
+    }
+    samples: Dict[str, List[np.ndarray]] = {}
+    if store_samples:
+        samples = {
+            name: [
+                np.concatenate(rows, axis=0) if rows else np.zeros((0, 0))
+                for rows in stored[name]
+            ]
+            for name in CALIBRATED_ACTIVATIONS
+        }
+    return CalibrationResult(
+        num_layers=n_layers,
+        num_tokens=num_tokens,
+        absmax=absmax,
+        minimum=minimum,
+        maximum=maximum,
+        samples=samples,
+    )

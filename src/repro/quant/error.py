@@ -1,0 +1,66 @@
+"""Quantization-error metrics.
+
+Table II of the paper reports the "4-bit quantization error of the activation
+in the out project layer" for different PTQ methods; the metric here is the
+mean per-token L2 error between the original and the quantize-dequantized
+activation, which ranks methods the same way and has the same units as the
+activation itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["quantization_error", "relative_error", "sqnr_db", "mse"]
+
+
+def _check(original: np.ndarray, reconstructed: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    original = np.asarray(original, dtype=np.float64)
+    reconstructed = np.asarray(reconstructed, dtype=np.float64)
+    if original.shape != reconstructed.shape:
+        raise ValueError(
+            f"shape mismatch: {original.shape} vs {reconstructed.shape}"
+        )
+    return original, reconstructed
+
+
+def mse(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Mean squared error."""
+    original, reconstructed = _check(original, reconstructed)
+    return float(np.mean((original - reconstructed) ** 2))
+
+
+def quantization_error(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Mean per-token L2 error (the Table II metric).
+
+    For a 2-d activation ``(tokens, channels)`` this is the mean over tokens
+    of ``||x_t - q(x_t)||_2``; 1-d inputs are treated as a single token.
+    """
+    original, reconstructed = _check(original, reconstructed)
+    diff = original - reconstructed
+    if diff.ndim == 1:
+        diff = diff[None, :]
+    else:
+        diff = diff.reshape(-1, diff.shape[-1])
+    return float(np.mean(np.linalg.norm(diff, axis=-1)))
+
+
+def relative_error(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Frobenius-norm relative error ``||x - q(x)|| / ||x||``."""
+    original, reconstructed = _check(original, reconstructed)
+    denom = np.linalg.norm(original)
+    if denom == 0:
+        return 0.0 if np.linalg.norm(reconstructed) == 0 else np.inf
+    return float(np.linalg.norm(original - reconstructed) / denom)
+
+
+def sqnr_db(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Signal-to-quantization-noise ratio in dB (higher is better)."""
+    original, reconstructed = _check(original, reconstructed)
+    noise = np.sum((original - reconstructed) ** 2)
+    signal = np.sum(original**2)
+    if noise == 0:
+        return np.inf
+    if signal == 0:
+        return -np.inf
+    return float(10.0 * np.log10(signal / noise))

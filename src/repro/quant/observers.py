@@ -1,0 +1,129 @@
+"""Activation-statistics observers used during calibration.
+
+Observers accumulate statistics over calibration batches; the quantization
+methods read them to derive scaling / shifting factors:
+
+- :class:`AbsMaxObserver` -- per-channel absolute maxima (SmoothQuant).
+- :class:`MinMaxObserver` -- per-channel minima and maxima (Outlier
+  Suppression+ shifting).
+- :class:`PercentileObserver` -- per-channel high percentiles, more robust to
+  single extreme tokens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["AbsMaxObserver", "MinMaxObserver", "PercentileObserver"]
+
+
+def _as_2d(x: np.ndarray) -> np.ndarray:
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim == 1:
+        return x[None, :]
+    if x.ndim == 2:
+        return x
+    return x.reshape(-1, x.shape[-1])
+
+
+@dataclass
+class AbsMaxObserver:
+    """Tracks the running per-channel absolute maximum."""
+
+    num_channels: Optional[int] = None
+    absmax: Optional[np.ndarray] = None
+    count: int = 0
+
+    def update(self, x: np.ndarray) -> None:
+        """Fold a batch of activations of shape ``(..., channels)``."""
+        x2 = _as_2d(x)
+        if self.num_channels is None:
+            self.num_channels = x2.shape[1]
+        if x2.shape[1] != self.num_channels:
+            raise ValueError(
+                f"expected {self.num_channels} channels, got {x2.shape[1]}"
+            )
+        batch_max = np.max(np.abs(x2), axis=0)
+        self.absmax = batch_max if self.absmax is None else np.maximum(self.absmax, batch_max)
+        self.count += x2.shape[0]
+
+    def result(self) -> np.ndarray:
+        """Per-channel absolute maxima; raises if no data was observed."""
+        if self.absmax is None:
+            raise RuntimeError("observer has not seen any data")
+        return self.absmax.copy()
+
+
+@dataclass
+class MinMaxObserver:
+    """Tracks running per-channel minima and maxima."""
+
+    num_channels: Optional[int] = None
+    minimum: Optional[np.ndarray] = None
+    maximum: Optional[np.ndarray] = None
+    count: int = 0
+
+    def update(self, x: np.ndarray) -> None:
+        x2 = _as_2d(x)
+        if self.num_channels is None:
+            self.num_channels = x2.shape[1]
+        if x2.shape[1] != self.num_channels:
+            raise ValueError(
+                f"expected {self.num_channels} channels, got {x2.shape[1]}"
+            )
+        lo = np.min(x2, axis=0)
+        hi = np.max(x2, axis=0)
+        self.minimum = lo if self.minimum is None else np.minimum(self.minimum, lo)
+        self.maximum = hi if self.maximum is None else np.maximum(self.maximum, hi)
+        self.count += x2.shape[0]
+
+    def result(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(minimum, maximum)`` per channel."""
+        if self.minimum is None or self.maximum is None:
+            raise RuntimeError("observer has not seen any data")
+        return self.minimum.copy(), self.maximum.copy()
+
+    def shift(self) -> np.ndarray:
+        """The OS+ channel shift: the midpoint of the observed range."""
+        lo, hi = self.result()
+        return (lo + hi) / 2.0
+
+    def half_range(self) -> np.ndarray:
+        """Half the observed per-channel range (the post-shift absmax)."""
+        lo, hi = self.result()
+        return (hi - lo) / 2.0
+
+
+@dataclass
+class PercentileObserver:
+    """Collects samples and reports a per-channel magnitude percentile.
+
+    Keeps a bounded reservoir of rows so memory stays constant regardless of
+    calibration size.
+    """
+
+    percentile: float = 99.9
+    max_rows: int = 4096
+    _rows: List[np.ndarray] = field(default_factory=list)
+    _stored: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.percentile <= 100.0:
+            raise ValueError("percentile must be in (0, 100]")
+
+    def update(self, x: np.ndarray) -> None:
+        x2 = _as_2d(x)
+        room = self.max_rows - self._stored
+        if room > 0:
+            take = x2[:room]
+            self._rows.append(np.abs(take))
+            self._stored += take.shape[0]
+
+    def result(self) -> np.ndarray:
+        if not self._rows:
+            raise RuntimeError("observer has not seen any data")
+        data = np.concatenate(self._rows, axis=0)
+        return np.percentile(data, self.percentile, axis=0)

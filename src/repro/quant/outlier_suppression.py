@@ -1,0 +1,96 @@
+"""Outlier Suppression+ (OS+) re-implemented for Mamba linear layers.
+
+OS+ (Wei et al., 2023) removes activation asymmetry with a per-channel *shift*
+and then migrates the remaining range with a per-channel *scale*::
+
+    z_j = (max_j + min_j) / 2                         # channel shift
+    s_j = ((max_j - min_j) / 2)^alpha / max|W_j|^(1-alpha)
+    X'  = (X - z) / s
+    W'  = W * s
+    b'  = b + z W^T                                   # shift compensation bias
+
+The compensation bias keeps the layer output mathematically identical.  As
+with SmoothQuant, the per-channel statistics are computed on a calibration
+set; with Mamba's scattered outliers the calibrated channel ranges do not
+match the channels where outliers appear at evaluation time, which is why the
+paper observes OS+ collapsing at W4A4 (Table II / Table III).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["OSPlusConfig", "compute_shift_and_scale", "apply_shift_and_scale"]
+
+
+@dataclass(frozen=True)
+class OSPlusConfig:
+    """Settings of the Outlier Suppression+ transformation."""
+
+    alpha: float = 0.5
+    min_scale: float = 1e-5
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.alpha <= 1.0:
+            raise ValueError("alpha must be in [0, 1]")
+        if self.min_scale <= 0:
+            raise ValueError("min_scale must be positive")
+
+
+def compute_shift_and_scale(
+    act_min: np.ndarray,
+    act_max: np.ndarray,
+    weight: np.ndarray,
+    config: OSPlusConfig = OSPlusConfig(),
+) -> tuple[np.ndarray, np.ndarray]:
+    """Compute the OS+ per-channel shift ``z`` and scale ``s``.
+
+    Parameters
+    ----------
+    act_min, act_max:
+        Per-channel minima / maxima of the layer input over the calibration
+        set, shape ``(in_features,)``.
+    weight:
+        Layer weight of shape ``(out_features, in_features)``.
+    """
+    act_min = np.asarray(act_min, dtype=np.float64)
+    act_max = np.asarray(act_max, dtype=np.float64)
+    weight = np.asarray(weight, dtype=np.float64)
+    if act_min.shape != act_max.shape:
+        raise ValueError("act_min and act_max must have the same shape")
+    if weight.ndim != 2 or weight.shape[1] != act_min.shape[0]:
+        raise ValueError(
+            "weight must have shape (out_features, in_features) matching the stats"
+        )
+    shift = (act_max + act_min) / 2.0
+    half_range = np.maximum((act_max - act_min) / 2.0, config.min_scale)
+    w_absmax = np.maximum(np.max(np.abs(weight), axis=0), config.min_scale)
+    scale = np.power(half_range, config.alpha) / np.power(w_absmax, 1.0 - config.alpha)
+    return shift, np.maximum(scale, config.min_scale)
+
+
+def apply_shift_and_scale(
+    activation: np.ndarray,
+    weight: np.ndarray,
+    shift: np.ndarray,
+    scale: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Apply the OS+ transformation to an (activation, weight) pair.
+
+    Returns ``(activation', weight', bias_compensation)`` with
+    ``activation' = (activation - shift) / scale``, ``weight' = weight * scale``
+    and ``bias_compensation = shift @ weight.T`` so that
+    ``activation' @ weight'.T + bias_compensation == activation @ weight.T``.
+    """
+    activation = np.asarray(activation, dtype=np.float64)
+    weight = np.asarray(weight, dtype=np.float64)
+    shift = np.asarray(shift, dtype=np.float64)
+    scale = np.asarray(scale, dtype=np.float64)
+    if weight.shape[1] != shift.shape[0] or weight.shape[1] != scale.shape[0]:
+        raise ValueError("shift/scale must have one entry per weight input channel")
+    new_act = (activation - shift) / scale
+    new_weight = weight * scale
+    bias = shift @ weight.T
+    return new_act, new_weight, bias

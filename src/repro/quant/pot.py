@@ -1,0 +1,114 @@
+"""Power-of-two (PoT) scale quantization for the SSM layer.
+
+Sec. IV-B of the paper: the SSM layer is dominated by element-wise
+multiplications (EMs) whose outputs must be re-quantized back to INT8.  With
+an arbitrary scale the re-quantization needs a real multiplier per element;
+constraining every scale to a power of two turns re-quantization into a bit
+shift, which is what makes the quantized SSMU cheap on FPGA (Fig. 3).
+
+This module provides the PoT scale snapping, a per-group PoT fake quantizer,
+and an integer-exact :func:`shift_requantize` that demonstrates the shift
+implementation is bit-exact against the reference divide-and-round.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quant.dtypes import Granularity, IntSpec
+from repro.quant.quantizer import QuantizerConfig, quantize, quantize_dequantize
+
+__all__ = [
+    "pot_quantize_scale",
+    "pot_quantizer_config",
+    "pot_quantize_dequantize",
+    "shift_requantize",
+    "requantize_reference",
+]
+
+
+def pot_quantize_scale(scale: np.ndarray | float, rounding: str = "ceil") -> np.ndarray:
+    """Snap positive scales to powers of two.
+
+    ``rounding='ceil'`` never reduces the representable range (no extra
+    clipping); ``'nearest'`` minimises the scale error.
+    """
+    scale = np.asarray(scale, dtype=np.float64)
+    if np.any(scale <= 0):
+        raise ValueError("scales must be positive")
+    log2 = np.log2(scale)
+    if rounding == "ceil":
+        exponent = np.ceil(log2)
+    elif rounding == "nearest":
+        exponent = np.round(log2)
+    else:
+        raise ValueError("rounding must be 'ceil' or 'nearest'")
+    return np.power(2.0, exponent)
+
+
+def pot_quantizer_config(
+    bits: int = 8, group_size: int = 128, granularity: Granularity = Granularity.PER_GROUP
+) -> QuantizerConfig:
+    """The paper's SSM quantizer: per-group INT8 with PoT scales."""
+    return QuantizerConfig(
+        spec=IntSpec(bits),
+        granularity=granularity,
+        group_size=group_size,
+        pot_scale=True,
+        pot_rounding="ceil",
+    )
+
+
+def pot_quantize_dequantize(
+    x: np.ndarray, bits: int = 8, group_size: int = 128
+) -> np.ndarray:
+    """Fake-quantize ``x`` with per-group PoT-scale symmetric quantization."""
+    return quantize_dequantize(np.asarray(x, dtype=np.float64), pot_quantizer_config(bits, group_size))
+
+
+def requantize_reference(
+    values: np.ndarray, src_scale: float, dst_scale: float, bits: int = 8
+) -> np.ndarray:
+    """Reference re-quantization: rescale integer values to a new scale.
+
+    ``values`` are integer codes at scale ``src_scale``; the result holds the
+    same real numbers expressed at ``dst_scale`` (rounded half away from zero,
+    clipped).  This is the general (non-PoT) path that needs a real multiplier
+    per element; the rounding convention matches the hardware shift path of
+    :func:`shift_requantize`.
+    """
+    spec = IntSpec(bits)
+    values = np.asarray(values)
+    real = values.astype(np.float64) * src_scale
+    ratio = real / dst_scale
+    rounded = np.sign(ratio) * np.floor(np.abs(ratio) + 0.5)
+    out = np.clip(rounded, spec.qmin, spec.qmax)
+    return out.astype(np.int64)
+
+
+def shift_requantize(
+    values: np.ndarray, src_exponent: int, dst_exponent: int, bits: int = 8
+) -> np.ndarray:
+    """Re-quantize integer codes between power-of-two scales using shifts only.
+
+    ``values`` hold integers at scale ``2**src_exponent``; the result holds
+    the same quantities at scale ``2**dst_exponent``.  A scale *increase*
+    (``dst > src``) becomes an arithmetic right shift with round-half-up,
+    a scale decrease becomes a left shift.  This is the hardware-friendly
+    operation the paper's PoT scheme enables -- bit-exact with
+    :func:`requantize_reference` for power-of-two scales.
+    """
+    spec = IntSpec(bits)
+    values = np.asarray(values, dtype=np.int64)
+    diff = dst_exponent - src_exponent
+    if diff == 0:
+        shifted = values
+    elif diff > 0:
+        # Right shift by `diff` with rounding to nearest (half away from zero),
+        # implemented with adds and shifts only.
+        offset = 1 << (diff - 1)
+        magnitude = (np.abs(values) + offset) >> diff
+        shifted = np.sign(values) * magnitude
+    else:
+        shifted = values << (-diff)
+    return np.clip(shifted, spec.qmin, spec.qmax).astype(np.int64)

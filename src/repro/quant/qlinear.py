@@ -1,0 +1,158 @@
+"""Quantized linear layers.
+
+:class:`QuantizedLinear` bundles a fake-quantized weight with an activation
+quantizer and an optional bias.  It provides two numerically equivalent
+forward paths:
+
+- :meth:`forward` -- the fast "fake quant" path (floating-point matmul over
+  dequantized operands) used throughout the library;
+- :meth:`forward_integer` -- an integer-exact path that performs the matmul
+  on INT codes with per-group INT32 accumulation and applies the scales at
+  the end, exactly as the FPGA MMU does.
+
+Tests verify both paths agree, which justifies using the fake-quant path for
+accuracy evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.quant.dtypes import Granularity
+from repro.quant.quantizer import (
+    QuantizedTensor,
+    QuantizerConfig,
+    dequantize,
+    quantize,
+    quantize_dequantize,
+)
+from repro.quant.rtn import activation_quantizer_config, weight_quantizer_config
+
+__all__ = ["QuantizedLinear"]
+
+
+@dataclass
+class QuantizedLinear:
+    """A linear layer ``y = x W^T + b`` with quantized weight and activation."""
+
+    weight_qt: QuantizedTensor
+    act_config: QuantizerConfig
+    bias: Optional[np.ndarray] = None
+
+    @classmethod
+    def from_weight(
+        cls,
+        weight: np.ndarray,
+        w_bits: int,
+        a_bits: int,
+        group_size: int = 128,
+        bias: Optional[np.ndarray] = None,
+    ) -> "QuantizedLinear":
+        """Quantize ``weight`` with the paper's scheme for the given widths."""
+        weight = np.asarray(weight, dtype=np.float64)
+        wcfg = weight_quantizer_config(w_bits, group_size)
+        acfg = activation_quantizer_config(a_bits, group_size)
+        return cls(weight_qt=quantize(weight, wcfg), act_config=acfg, bias=bias)
+
+    @property
+    def weight(self) -> np.ndarray:
+        """The dequantized (fake-quantized) weight."""
+        return dequantize(self.weight_qt)
+
+    @property
+    def out_features(self) -> int:
+        return self.weight_qt.shape[0]
+
+    @property
+    def in_features(self) -> int:
+        return self.weight_qt.shape[1]
+
+    # ------------------------------------------------------------------
+    # Forward paths
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Fake-quant forward: quantize the activation, multiply dequantized."""
+        x = np.asarray(x, dtype=np.float64)
+        xq = quantize_dequantize(x, self.act_config)
+        out = xq @ self.weight.T
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    __call__ = forward
+
+    def forward_integer(self, x: np.ndarray) -> np.ndarray:
+        """Integer-exact forward with per-group INT32 accumulation.
+
+        Operates on the integer codes directly; the result equals
+        :meth:`forward` up to floating-point associativity.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        squeeze = x.ndim == 1
+        x2 = x[None, :] if squeeze else x.reshape(-1, x.shape[-1])
+
+        act_qt = quantize(x2, self.act_config)
+        w_qt = self.weight_qt
+        x_codes = act_qt.codes.astype(np.int64)
+        w_codes = w_qt.codes.astype(np.int64)
+
+        if (
+            self.act_config.granularity is Granularity.PER_GROUP
+            or w_qt.config.granularity is Granularity.PER_GROUP
+        ):
+            out = self._grouped_integer_matmul(x_codes, act_qt, w_codes, w_qt)
+        else:
+            acc = x_codes @ w_codes.T
+            a_scale = np.broadcast_to(act_qt.scales, (x2.shape[0], 1))
+            w_scale = np.broadcast_to(w_qt.scales, (w_codes.shape[0], 1))
+            out = acc.astype(np.float64) * a_scale * w_scale[:, 0][None, :]
+
+        if self.bias is not None:
+            out = out + self.bias
+        if squeeze:
+            return out[0]
+        return out.reshape(*x.shape[:-1], self.out_features)
+
+    def _grouped_integer_matmul(self, x_codes, act_qt, w_codes, w_qt) -> np.ndarray:
+        """Per-group integer matmul: INT32 partial sums scaled per group."""
+        in_features = self.in_features
+        group = min(self.act_config.group_size, in_features)
+        if w_qt.config.granularity is Granularity.PER_GROUP:
+            group = min(group, w_qt.config.group_size)
+        n_groups = -(-in_features // group)
+
+        tokens = x_codes.shape[0]
+        out = np.zeros((tokens, self.out_features), dtype=np.float64)
+        a_scales = self._expand_group_scales(act_qt, tokens, in_features, group)
+        w_scales = self._expand_group_scales(w_qt, self.out_features, in_features, group)
+        for g in range(n_groups):
+            lo, hi = g * group, min((g + 1) * group, in_features)
+            acc = x_codes[:, lo:hi] @ w_codes[:, lo:hi].T  # INT32 accumulator
+            out += acc.astype(np.float64) * a_scales[:, g][:, None] * w_scales[:, g][None, :]
+        return out
+
+    @staticmethod
+    def _expand_group_scales(qt: QuantizedTensor, rows: int, in_features: int, group: int) -> np.ndarray:
+        """Normalise any granularity's scales to a per-(row, group) matrix."""
+        n_groups = -(-in_features // group)
+        gran = qt.config.granularity
+        scales = np.asarray(qt.scales, dtype=np.float64)
+        if gran is Granularity.PER_GROUP:
+            return scales.reshape(rows, n_groups)
+        if gran in (Granularity.PER_CHANNEL, Granularity.PER_TOKEN):
+            per_row = scales.reshape(rows, 1) if scales.ndim else np.full((rows, 1), float(scales))
+            return np.broadcast_to(per_row, (rows, n_groups)).copy()
+        return np.full((rows, n_groups), float(scales))
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def memory_bytes(self) -> float:
+        """Off-chip storage of the quantized weight (codes + FP16 scales)."""
+        total = self.weight_qt.memory_bytes()
+        if self.bias is not None:
+            total += self.bias.size * 2.0
+        return total

@@ -1,0 +1,70 @@
+"""Round-to-nearest (RTN) quantization.
+
+RTN is the simplest PTQ baseline (the "RTN" rows of Table II / Table III): no
+calibration-driven transformation, just symmetric rounding of weights and
+activations at the configured granularity.  It also serves as the final
+rounding step of every other method after their respective pre-transformations
+(smoothing, shifting, rotation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quant.dtypes import Granularity, IntSpec, INT4, INT8
+from repro.quant.quantizer import QuantizerConfig, quantize_dequantize
+
+__all__ = [
+    "weight_quantizer_config",
+    "activation_quantizer_config",
+    "rtn_quantize_weight",
+    "rtn_quantize_activation",
+]
+
+
+def weight_quantizer_config(
+    bits: int, group_size: int = 128, clip_ratio: float = 1.0
+) -> QuantizerConfig:
+    """The paper's weight quantizer for a given bit width.
+
+    8-bit weights use per-channel scales; 4-bit (and anything below 8) uses
+    per-group scales with the given group size (Sec. VI-A).
+    """
+    spec = IntSpec(bits)
+    if bits >= 8:
+        granularity = Granularity.PER_CHANNEL
+    else:
+        granularity = Granularity.PER_GROUP
+    return QuantizerConfig(
+        spec=spec, granularity=granularity, group_size=group_size, clip_ratio=clip_ratio
+    )
+
+
+def activation_quantizer_config(
+    bits: int, group_size: int = 128, clip_ratio: float = 1.0
+) -> QuantizerConfig:
+    """The paper's activation quantizer: per-token at 8-bit, per-group below."""
+    spec = IntSpec(bits)
+    if bits >= 8:
+        granularity = Granularity.PER_TOKEN
+    else:
+        granularity = Granularity.PER_GROUP
+    return QuantizerConfig(
+        spec=spec, granularity=granularity, group_size=group_size, clip_ratio=clip_ratio
+    )
+
+
+def rtn_quantize_weight(
+    weight: np.ndarray, bits: int, group_size: int = 128, clip_ratio: float = 1.0
+) -> np.ndarray:
+    """Fake-quantize a weight matrix with the paper's RTN weight scheme."""
+    config = weight_quantizer_config(bits, group_size, clip_ratio)
+    return quantize_dequantize(np.asarray(weight, dtype=np.float64), config)
+
+
+def rtn_quantize_activation(
+    activation: np.ndarray, bits: int, group_size: int = 128, clip_ratio: float = 1.0
+) -> np.ndarray:
+    """Fake-quantize an activation with the paper's RTN activation scheme."""
+    config = activation_quantizer_config(bits, group_size, clip_ratio)
+    return quantize_dequantize(np.asarray(activation, dtype=np.float64), config)

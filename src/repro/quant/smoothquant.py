@@ -1,0 +1,95 @@
+"""SmoothQuant re-implemented for Mamba linear layers.
+
+SmoothQuant (Xiao et al., ICML 2023) migrates quantization difficulty from
+activations to weights with a per-input-channel scale::
+
+    s_j = max|X_j|^alpha / max|W_j|^(1 - alpha)
+    X'  = X / s          (folded into the preceding normalisation scale)
+    W'  = W * s          (folded into the weight offline)
+
+so that ``X' W'^T == X W^T`` exactly, while activation outliers shrink.  In
+this reproduction the activation-side division is folded into the RMSNorm
+(for the input projection) or the gated RMSNorm (for the output projection),
+exactly as the original folds into LayerNorm.
+
+The paper (Sec. III) shows this helps when outliers stay in fixed channels but
+is ineffective for the *scattered* outliers of Mamba's output projection --
+the Table II / Table III baselines reproduce that behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SmoothQuantConfig", "compute_smoothing_scales", "apply_smoothing"]
+
+
+@dataclass(frozen=True)
+class SmoothQuantConfig:
+    """Settings of the SmoothQuant transformation.
+
+    Attributes
+    ----------
+    alpha:
+        Migration strength; 0.5 is the value used by the original paper and by
+        the LightMamba baseline comparison.
+    min_scale:
+        Lower bound on the per-channel scale to avoid degenerate divisions for
+        channels that are always (near) zero.
+    """
+
+    alpha: float = 0.5
+    min_scale: float = 1e-5
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.alpha <= 1.0:
+            raise ValueError("alpha must be in [0, 1]")
+        if self.min_scale <= 0:
+            raise ValueError("min_scale must be positive")
+
+
+def compute_smoothing_scales(
+    act_absmax: np.ndarray,
+    weight: np.ndarray,
+    config: SmoothQuantConfig = SmoothQuantConfig(),
+) -> np.ndarray:
+    """Compute the per-input-channel smoothing scales ``s``.
+
+    Parameters
+    ----------
+    act_absmax:
+        Per-channel absolute maxima of the layer input, shape ``(in_features,)``
+        (from an :class:`~repro.quant.observers.AbsMaxObserver` over the
+        calibration set).
+    weight:
+        The layer weight of shape ``(out_features, in_features)``.
+    """
+    act_absmax = np.asarray(act_absmax, dtype=np.float64)
+    weight = np.asarray(weight, dtype=np.float64)
+    if weight.ndim != 2 or weight.shape[1] != act_absmax.shape[0]:
+        raise ValueError(
+            "weight must have shape (out_features, in_features) matching act_absmax"
+        )
+    w_absmax = np.max(np.abs(weight), axis=0)
+    a = np.maximum(act_absmax, config.min_scale)
+    w = np.maximum(w_absmax, config.min_scale)
+    scales = np.power(a, config.alpha) / np.power(w, 1.0 - config.alpha)
+    return np.maximum(scales, config.min_scale)
+
+
+def apply_smoothing(
+    activation: np.ndarray, weight: np.ndarray, scales: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Apply the smoothing transformation to an (activation, weight) pair.
+
+    Returns ``(activation / scales, weight * scales)``; the product
+    ``X' W'^T`` is mathematically unchanged.
+    """
+    activation = np.asarray(activation, dtype=np.float64)
+    weight = np.asarray(weight, dtype=np.float64)
+    scales = np.asarray(scales, dtype=np.float64)
+    if weight.shape[1] != scales.shape[0]:
+        raise ValueError("scales must have one entry per weight input channel")
+    return activation / scales, weight * scales

@@ -1,0 +1,130 @@
+"""Quantized SSM layer (the LightMamba* configuration).
+
+Sec. IV-B of the paper: the SSM layer is quantized with per-group INT8 and
+power-of-two (PoT) scales so that the re-quantization after every element-wise
+multiplication is a bit shift.  The non-linear operators (softplus, exp) stay
+in floating point -- on the FPGA they are implemented with dedicated units --
+while every multiplicative operand and every element-wise product is
+fake-quantized on the INT8 PoT grid.
+
+:class:`QuantizedSSMStep` is a drop-in replacement for
+:func:`repro.mamba.ssm.ssm_step` (it matches the ``ssm_impl`` signature of
+:class:`repro.mamba.block.MambaBlock`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+from repro.mamba.ops import softplus
+from repro.mamba.ssm import SSMParams
+from repro.quant.dtypes import Granularity, IntSpec
+from repro.quant.quantizer import QuantizerConfig, quantize_dequantize
+
+__all__ = ["SSMQuantConfig", "QuantizedSSMStep"]
+
+
+@dataclass(frozen=True)
+class SSMQuantConfig:
+    """Settings of the SSM quantization.
+
+    Attributes
+    ----------
+    bits:
+        Integer width of the SSM operands and element-wise products (the
+        paper uses INT8 for the SSM regardless of the linear-layer width).
+    group_size:
+        Per-group quantization group length along the state / channel axis.
+    pot_scale:
+        Constrain scales to powers of two (the paper's FPGA-friendly scheme).
+        Setting it to ``False`` gives the "naive non-PoT" ablation of Fig. 3.
+    quantize_state:
+        Also keep the recurrent hidden state ``h`` on the integer grid between
+        steps (the state is stored in on-chip memory on the FPGA).
+    quantize_products:
+        Re-quantize every element-wise product (the re-quantization whose
+        hardware cost Fig. 3 analyses).  Disabling keeps products at high
+        precision until the output.
+    """
+
+    bits: int = 8
+    group_size: int = 32
+    pot_scale: bool = True
+    quantize_state: bool = True
+    quantize_products: bool = True
+
+    def config(self, granularity: Granularity = Granularity.PER_GROUP) -> QuantizerConfig:
+        """Build the underlying :class:`QuantizerConfig`."""
+        return QuantizerConfig(
+            spec=IntSpec(self.bits),
+            granularity=granularity,
+            group_size=self.group_size,
+            pot_scale=self.pot_scale,
+            pot_rounding="ceil",
+        )
+
+
+class QuantizedSSMStep:
+    """Quantized drop-in replacement for the SSM decode step.
+
+    The operator decomposition matches Fig. 1 / Fig. 3 of the paper: each
+    named element-wise multiplication is computed on fake-quantized operands
+    and its output is re-quantized before feeding the next operator.
+    """
+
+    def __init__(self, config: SSMQuantConfig = SSMQuantConfig()):
+        self.config = config
+        self._qcfg = config.config()
+
+    def _q(self, x: np.ndarray) -> np.ndarray:
+        """Fake-quantize a tensor on the configured grid."""
+        return quantize_dequantize(x, self._qcfg)
+
+    def _qp(self, x: np.ndarray) -> np.ndarray:
+        """Re-quantize an element-wise product (if enabled)."""
+        if not self.config.quantize_products:
+            return x
+        return quantize_dequantize(x, self._qcfg)
+
+    def __call__(
+        self,
+        params: SSMParams,
+        x: np.ndarray,
+        B: np.ndarray,
+        C: np.ndarray,
+        dt: np.ndarray,
+        state: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Advance the quantized recurrence one token (``ssm_impl`` signature)."""
+        x = self._q(np.asarray(x, dtype=np.float64))
+        B = self._q(np.asarray(B, dtype=np.float64))
+        C = self._q(np.asarray(C, dtype=np.float64))
+        state = np.asarray(state, dtype=np.float64)
+        if self.config.quantize_state:
+            state = self._q(state)
+
+        # Non-linear operators stay in floating point (dedicated FPGA units).
+        delta = softplus(np.asarray(dt, dtype=np.float64) + params.dt_bias)
+        a_bar = np.exp(delta * params.A)
+
+        delta_mul_b = self._qp(delta[:, None] * B[None, :])            # Delta (.) B
+        b_mul_x = self._qp(delta_mul_b[:, None, :] * x[:, :, None])    # B_bar (.) x
+        a_mul_h = self._qp(a_bar[:, None, None] * state)               # A_bar (.) h
+        new_state = a_mul_h + b_mul_x
+        if self.config.quantize_state:
+            new_state = self._q(new_state)
+
+        h_mul_c = self._qp(new_state * C[None, None, :])               # h (.) C
+        y_ssm = np.sum(h_mul_c, axis=-1)
+        x_mul_d = self._qp(params.D[:, None] * x)                      # x (.) D
+        y = y_ssm + x_mul_d
+        return y, new_state
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"QuantizedSSMStep(bits={self.config.bits}, "
+            f"group_size={self.config.group_size}, pot={self.config.pot_scale})"
+        )

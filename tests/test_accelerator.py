@@ -1,0 +1,281 @@
+"""Integration tests for the scheduler, accelerator, power, GPU and baselines."""
+
+import pytest
+
+from repro.hardware import (
+    AcceleratorConfig,
+    ARCHITECTURE_COMPARISON,
+    DFX,
+    FLIGHTLLM,
+    FPGAPowerModel,
+    GPUDecodeModel,
+    LightMambaAccelerator,
+    RTX2070,
+    RTX4090,
+    ResourceUsage,
+    ScheduleMode,
+    U280,
+    VCK190,
+    energy_efficiency,
+    schedule_block,
+)
+from repro.hardware.scheduler import BlockPhases
+from repro.mamba import get_preset
+
+
+MODEL_2P7B = get_preset("mamba2-2.7b")
+
+
+def make_accelerator(**overrides) -> LightMambaAccelerator:
+    config = AcceleratorConfig(platform=VCK190).with_overrides(**overrides)
+    return LightMambaAccelerator(config, MODEL_2P7B)
+
+
+class TestScheduler:
+    def _phases(self, **overrides):
+        defaults = dict(
+            in_proj_compute=200.0,
+            in_proj_memory=500.0,
+            out_proj_compute=100.0,
+            out_proj_memory=250.0,
+            conv_cycles=20.0,
+            ssm_cycles_per_head=40.0,
+            ssm_head_overhead=5.0,
+            nheads=8,
+            htu_cycles=30.0,
+        )
+        defaults.update(overrides)
+        return BlockPhases(**defaults)
+
+    def test_reordering_reduces_latency(self):
+        """Fig. 6: the coarse-grained pipeline beats the naive schedule."""
+        phases = self._phases()
+        naive = schedule_block(phases, ScheduleMode.SEQUENTIAL)
+        reordered = schedule_block(phases, ScheduleMode.REORDERED)
+        assert reordered.total_cycles < naive.total_cycles
+
+    def test_fine_grained_not_slower_than_reordered(self):
+        phases = self._phases()
+        reordered = schedule_block(phases, ScheduleMode.REORDERED)
+        fine = schedule_block(phases, ScheduleMode.FINE_GRAINED)
+        assert fine.total_cycles <= reordered.total_cycles
+
+    def test_reordering_improves_bottleneck_utilisation(self):
+        """The paper's 58% -> 96% hardware-utilisation jump, qualitatively."""
+        phases = self._phases()
+        naive = schedule_block(phases, ScheduleMode.SEQUENTIAL)
+        fine = schedule_block(phases, ScheduleMode.FINE_GRAINED)
+        assert fine.bottleneck_utilisation > naive.bottleneck_utilisation
+
+    def test_memory_bound_floor(self):
+        """No schedule can beat the total weight-streaming time."""
+        phases = self._phases()
+        for mode in ScheduleMode:
+            schedule = schedule_block(phases, mode)
+            assert schedule.total_cycles >= phases.total_memory
+
+    def test_compute_bound_case(self):
+        """When compute dominates, the makespan is at least the compute time
+        of the serial-dependency chain (in_proj -> SSM -> out_proj)."""
+        phases = self._phases(in_proj_memory=10.0, out_proj_memory=5.0, other_memory=0.0)
+        schedule = schedule_block(phases, ScheduleMode.FINE_GRAINED)
+        assert schedule.total_cycles >= phases.out_proj_compute + phases.nheads * phases.ssm_cycles_per_head
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self._phases(nheads=0)
+        with pytest.raises(ValueError):
+            self._phases(in_proj_compute=-1.0)
+        with pytest.raises(ValueError):
+            self._phases(dbc_fraction=1.5)
+
+
+class TestAcceleratorCalibration:
+    """The analytic model must land near the published operating points."""
+
+    def test_vck190_w4a4_throughput(self):
+        tps = make_accelerator().tokens_per_second()
+        assert tps == pytest.approx(7.21, rel=0.15)
+
+    def test_vck190_w8a8_throughput(self):
+        tps = make_accelerator(weight_bits=8, act_bits=8).tokens_per_second()
+        assert tps == pytest.approx(3.61, rel=0.15)
+
+    def test_u280_throughput(self):
+        tps = LightMambaAccelerator(
+            AcceleratorConfig(platform=U280), MODEL_2P7B
+        ).tokens_per_second()
+        assert tps == pytest.approx(93.0, rel=0.15)
+
+    def test_w4a4_faster_than_w8a8_faster_than_fp16(self):
+        fp16 = make_accelerator(
+            weight_bits=16, act_bits=16, ssm_bits=16, use_rotation=False
+        ).tokens_per_second()
+        w8 = make_accelerator(weight_bits=8, act_bits=8).tokens_per_second()
+        w4 = make_accelerator().tokens_per_second()
+        assert fp16 < w8 < w4
+
+    def test_vck190_energy_efficiency_beats_gpus(self):
+        """Fig. 9b: LightMamba's tokens/J is several times the GPUs'."""
+        fpga = make_accelerator().energy_efficiency()
+        gpu2070 = GPUDecodeModel(RTX2070).mamba_result(MODEL_2P7B).energy_efficiency
+        gpu4090 = GPUDecodeModel(RTX4090).mamba_result(MODEL_2P7B).energy_efficiency
+        assert fpga / gpu2070 > 3.0
+        assert fpga / gpu4090 > 3.0
+
+    def test_u280_faster_than_rtx2070(self):
+        """Fig. 9a headline: ~1.43x the RTX 2070 throughput."""
+        u280 = LightMambaAccelerator(AcceleratorConfig(platform=U280), MODEL_2P7B)
+        gpu = GPUDecodeModel(RTX2070).mamba_result(MODEL_2P7B)
+        ratio = u280.tokens_per_second() / gpu.tokens_per_second
+        assert 1.2 < ratio < 1.8
+
+    def test_resources_fit_platform(self):
+        report = make_accelerator().resource_report()
+        assert report.total.fits(VCK190)
+
+    def test_report_fields(self):
+        report = make_accelerator().report()
+        as_dict = report.as_dict()
+        assert as_dict["tokens_per_s"] > 0
+        assert as_dict["power_w"] > 0
+        assert 0 < as_dict["util_dram"] <= 1.0
+
+
+class TestAblation:
+    """Fig. 10: each technique moves throughput / URAM in the right direction."""
+
+    def _tps(self, **overrides):
+        return make_accelerator(**overrides).tokens_per_second()
+
+    def test_weight_quant_speeds_up(self):
+        fp16 = self._tps(weight_bits=16, act_bits=16, ssm_bits=16, use_rotation=False,
+                         schedule=ScheduleMode.SEQUENTIAL)
+        w4 = self._tps(weight_bits=4, act_bits=16, ssm_bits=16, use_rotation=False,
+                       schedule=ScheduleMode.SEQUENTIAL)
+        assert w4 > fp16
+
+    def test_act_quant_speeds_up(self):
+        w4a16 = self._tps(weight_bits=4, act_bits=16, ssm_bits=16, use_rotation=False,
+                          schedule=ScheduleMode.SEQUENTIAL)
+        w4a4 = self._tps(use_rotation=False, schedule=ScheduleMode.SEQUENTIAL)
+        assert w4a4 > w4a16
+
+    def test_mm_rotation_costs_throughput(self):
+        no_rotation = self._tps(use_rotation=False, schedule=ScheduleMode.SEQUENTIAL)
+        mm_rotation = self._tps(use_fht=False, schedule=ScheduleMode.SEQUENTIAL)
+        assert mm_rotation < no_rotation * 0.8
+
+    def test_fht_recovers_throughput(self):
+        mm_rotation = self._tps(use_fht=False, schedule=ScheduleMode.SEQUENTIAL)
+        fht_rotation = self._tps(use_fht=True, schedule=ScheduleMode.SEQUENTIAL)
+        assert fht_rotation > mm_rotation * 1.3
+
+    def test_reordering_improves_throughput(self):
+        sequential = self._tps(schedule=ScheduleMode.SEQUENTIAL)
+        reordered = self._tps(schedule=ScheduleMode.REORDERED)
+        assert reordered > sequential * 1.2
+
+    def test_tiling_preserves_throughput_and_cuts_uram(self):
+        reordered = make_accelerator(schedule=ScheduleMode.REORDERED)
+        fine = make_accelerator(schedule=ScheduleMode.FINE_GRAINED)
+        assert fine.tokens_per_second() >= reordered.tokens_per_second() * 0.99
+        assert reordered.uram_usage() / fine.uram_usage() > 3.0
+
+
+class TestPower:
+    def test_power_scales_with_frequency(self):
+        model = FPGAPowerModel()
+        usage = ResourceUsage(lut=100_000, dsp=200, bram=500, uram=60, ff=150_000)
+        assert model.power(usage, 400e6) > model.power(usage, 200e6)
+
+    def test_static_floor(self):
+        model = FPGAPowerModel()
+        assert model.power(ResourceUsage(), 400e6) == pytest.approx(
+            model.static_w + model.dram_interface_w
+        )
+
+    def test_energy_efficiency_helper(self):
+        assert energy_efficiency(7.2, 3.2) == pytest.approx(2.25)
+        with pytest.raises(ValueError):
+            energy_efficiency(1.0, 0.0)
+
+    def test_vck190_power_in_published_range(self):
+        """Table IV implies ~3.2 W board power (7.21 tokens/s, 2.25 tokens/J)."""
+        power = make_accelerator().power_w()
+        assert 1.5 < power < 5.0
+
+
+class TestGPUBaselines:
+    def test_rtx2070_matches_table4(self):
+        result = GPUDecodeModel(RTX2070).mamba_result(MODEL_2P7B)
+        assert result.tokens_per_second == pytest.approx(65.0, rel=0.1)
+        assert result.energy_efficiency == pytest.approx(0.371, rel=0.1)
+
+    def test_rtx4090_matches_table4(self):
+        result = GPUDecodeModel(RTX4090).mamba_result(MODEL_2P7B)
+        assert result.tokens_per_second == pytest.approx(138.0, rel=0.1)
+        assert result.energy_efficiency == pytest.approx(0.484, rel=0.1)
+
+    def test_mamba_throughput_flat_with_sequence(self):
+        model = GPUDecodeModel(RTX2070)
+        short = model.decode_tokens_per_second(2.7e9, kv_bytes_per_token=0, sequence_position=128)
+        long = model.decode_tokens_per_second(2.7e9, kv_bytes_per_token=0, sequence_position=8192)
+        assert short == pytest.approx(long)
+
+    def test_transformer_throughput_decays(self):
+        model = GPUDecodeModel(RTX2070)
+        kv = 2 * 32 * 4096 * 2.0  # LLaMA2-7B-like cache per token
+        short = model.transformer_tokens_per_second(7e9, kv, output_tokens=128)
+        long = model.transformer_tokens_per_second(7e9, kv, output_tokens=4096)
+        assert long < short
+
+    def test_smaller_model_faster(self):
+        model = GPUDecodeModel(RTX4090)
+        small = model.mamba_result(get_preset("mamba2-130m"))
+        large = model.mamba_result(MODEL_2P7B)
+        assert small.tokens_per_second > large.tokens_per_second
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GPUDecodeModel(RTX2070).decode_tokens_per_second(0)
+        with pytest.raises(ValueError):
+            GPUDecodeModel(RTX2070).transformer_tokens_per_second(1e9, 100.0, 0)
+
+
+class TestPriorAccelerators:
+    def test_throughput_decays_with_sequence_length(self):
+        """Fig. 9a: Transformer accelerators slow down on long outputs."""
+        for prior in (FLIGHTLLM, DFX):
+            assert prior.tokens_per_second(4096) < prior.tokens_per_second(128)
+
+    def test_lightmamba_u280_wins_at_long_sequences(self):
+        u280 = LightMambaAccelerator(AcceleratorConfig(platform=U280), MODEL_2P7B)
+        ours = u280.tokens_per_second()
+        assert ours > FLIGHTLLM.tokens_per_second(4096)
+        assert ours > DFX.tokens_per_second(4096)
+
+    def test_architecture_table_contents(self):
+        designs = {row["design"] for row in ARCHITECTURE_COMPARISON}
+        assert any("LightMamba" in d for d in designs)
+        ours = next(r for r in ARCHITECTURE_COMPARISON if "LightMamba" in r["design"])
+        assert ours["bit_precision"] == "W4A4"
+        assert ours["mm_parallelism"] == "High"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FLIGHTLLM.tokens_per_second(0)
+
+
+class TestGenerationThroughput:
+    def test_flat_with_output_length(self):
+        """Fig. 9a: LightMamba throughput is ~flat in output sequence length."""
+        acc = make_accelerator()
+        short = acc.generation_throughput(output_tokens=128)
+        long = acc.generation_throughput(output_tokens=4096)
+        assert long == pytest.approx(acc.tokens_per_second(), rel=0.05)
+        assert long >= short  # prefill amortises away
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_accelerator().generation_throughput(0)

@@ -1,0 +1,237 @@
+"""Tests for the co-design layer (repro.core) and the table/figure generators."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    fig2_activation_distribution,
+    fig3_ssm_requant_cost,
+    fig4b_fusion_error,
+    fig6_pipeline_schedules,
+    fig7_tiling_uram,
+    fig9a_throughput_vs_seqlen,
+    fig9b_energy_efficiency,
+    fig10_ablation,
+    format_rows,
+    format_series,
+    table1_architecture_comparison,
+    table2_quant_error,
+    table3_accuracy,
+    table4_hardware,
+)
+from repro.core import (
+    ABLATION_STEPS,
+    CoDesignConfig,
+    LightMambaPipeline,
+    run_hardware_ablation,
+)
+from repro.eval import build_reference_setup
+from repro.hardware import ScheduleMode, U280, VCK190
+from repro.quant import QuantConfig, QuantMethod
+
+
+@pytest.fixture(scope="module")
+def small_setup():
+    """A scaled-down reference setup shared by the algorithm-level benches."""
+    return build_reference_setup(
+        preset="mamba2-tiny",
+        n_layer=4,
+        num_calibration_sequences=3,
+        calibration_seq_len=16,
+        num_eval_sequences=2,
+        eval_seq_len=16,
+        num_task_examples=3,
+    )
+
+
+class TestCoDesignConfig:
+    def test_presets(self):
+        w4 = CoDesignConfig.vck190_w4a4()
+        w8 = CoDesignConfig.vck190_w8a8()
+        u280 = CoDesignConfig.u280_w4a4()
+        assert w4.accelerator.weight_bits == 4 and w4.accelerator.act_bits == 4
+        assert w8.accelerator.weight_bits == 8
+        assert u280.accelerator.platform is U280
+        assert w4.accelerator.use_rotation  # LightMamba* uses rotation
+
+    def test_accelerator_synced_with_quant(self):
+        config = CoDesignConfig(
+            model_preset="mamba2-130m",
+            quant=QuantConfig.w8a8(QuantMethod.RTN),
+        )
+        assert config.accelerator.weight_bits == 8
+        assert not config.accelerator.use_rotation   # RTN has no online rotation
+        assert config.accelerator.ssm_bits == 16     # RTN leaves the SSM in FP
+
+    def test_invalid_preset_rejected(self):
+        with pytest.raises(KeyError):
+            CoDesignConfig(model_preset="mamba9-99b")
+
+    def test_label_and_overrides(self):
+        config = CoDesignConfig.vck190_w4a4().with_accelerator(schedule=ScheduleMode.SEQUENTIAL)
+        assert "mamba2-2.7b" in config.label
+        assert config.accelerator.schedule is ScheduleMode.SEQUENTIAL
+
+
+class TestPipeline:
+    def test_hardware_only_report(self):
+        report = LightMambaPipeline(CoDesignConfig.vck190_w4a4()).run()
+        assert report.hardware.tokens_per_second > 5.0
+        assert report.fidelity == {}
+        assert "tokens_per_s" in report.as_dict()
+
+    def test_report_with_reference_setup(self, small_setup):
+        config = CoDesignConfig(
+            model_preset="mamba2-130m",
+            quant=QuantConfig.w4a4(QuantMethod.LIGHTMAMBA, group_size=32),
+        )
+        report = LightMambaPipeline(config).run(setup=small_setup)
+        assert 0.0 < report.fidelity["top1_agreement"] <= 1.0
+        assert report.fidelity["kl_divergence"] >= 0.0
+
+    def test_quantize_helper(self, small_setup):
+        pipeline = LightMambaPipeline(
+            CoDesignConfig(quant=QuantConfig.w4a4(QuantMethod.RTN, group_size=32))
+        )
+        quantized = pipeline.quantize(small_setup.model, calibration=small_setup.calibration)
+        assert quantized is not small_setup.model
+
+
+class TestAblation:
+    def test_steps_cover_paper_rows(self):
+        assert len(ABLATION_STEPS) == 7
+        assert ABLATION_STEPS[0].quant is None
+        assert ABLATION_STEPS[-1].accelerator_overrides["schedule"] is ScheduleMode.FINE_GRAINED
+
+    def test_hardware_ablation_monotone_story(self):
+        results = run_hardware_ablation()
+        tps = [r.tokens_per_second for r in results]
+        uram = [r.uram for r in results]
+        # Quantization steps speed things up; the MM rotation slows down; FHT
+        # recovers; reordering improves further; tiling keeps throughput but
+        # cuts URAM.
+        assert tps[1] > tps[0]
+        assert tps[2] > tps[1]
+        assert tps[3] < tps[2]
+        assert tps[4] > tps[3]
+        assert tps[5] > tps[4]
+        assert tps[6] >= tps[5] * 0.99
+        assert uram[6] < uram[5] / 3
+        # Final operating point near the paper's 7.21 tokens/s.
+        assert tps[6] == pytest.approx(7.21, rel=0.15)
+
+    def test_accuracy_attachment(self):
+        accuracies = {ABLATION_STEPS[0].name: 0.75}
+        results = run_hardware_ablation(accuracies=accuracies)
+        assert results[0].as_dict()["accuracy_%"] == 75.0
+        assert "accuracy_%" not in results[1].as_dict()
+
+
+class TestFormatting:
+    def test_format_rows_alignment_and_columns(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 10, "c": "x"}]
+        text = format_rows(rows, title="T")
+        assert text.splitlines()[0] == "T"
+        assert "a" in text and "b" in text and "c" in text
+
+    def test_format_rows_empty(self):
+        assert format_rows([], title="nothing") == "nothing"
+
+    def test_format_series(self):
+        text = format_series({"s1": {1: 0.5, 2: 0.25}, "s2": {1: 1.0}}, x_label="n")
+        assert "s1" in text and "s2" in text and "n" in text
+
+
+class TestTableGenerators:
+    def test_table1(self):
+        rows = table1_architecture_comparison()
+        assert any("LightMamba" in row["design"] for row in rows)
+        assert format_rows(rows)  # formats without error
+
+    def test_table2_ordering(self, small_setup):
+        rows = table2_quant_error(small_setup, group_size=32)
+        errors = {row["method"]: row["quant_error"] for row in rows}
+        assert set(errors) == {"RTN", "SQ", "OS+", "LightMamba"}
+        # The paper's qualitative ordering: rotation best, OS+ worst.
+        assert errors["LightMamba"] < errors["RTN"]
+        assert errors["OS+"] > errors["RTN"]
+
+    def test_table3_small(self, small_setup):
+        configs = [
+            ("FP16", None, None),
+            ("RTN", QuantMethod.RTN, "w4a4"),
+            ("LightMamba", QuantMethod.LIGHTMAMBA, "w4a4"),
+        ]
+        rows = table3_accuracy(small_setup, configs=configs)
+        assert len(rows) == 3
+        fp_row = rows[0]
+        assert fp_row["precision"] == "FP16"
+        for row in rows:
+            assert 0.0 <= row["average"] <= 100.0
+            assert row["ppl"] > 0
+
+    def test_table4_contains_all_platforms(self):
+        rows = table4_hardware()
+        platforms = {row["platform"] for row in rows}
+        assert platforms == {"VCK190 W4A4", "VCK190 W8A8", "U280 W4A4", "RTX 2070", "RTX 4090"}
+        ours = next(r for r in rows if r["platform"] == "VCK190 W4A4")
+        assert ours["tokens_per_s"] == pytest.approx(7.21, rel=0.15)
+        gpu = next(r for r in rows if r["platform"] == "RTX 2070")
+        assert gpu["tokens_per_s"] == pytest.approx(65, rel=0.1)
+
+
+class TestFigureGenerators:
+    def test_fig2_rotation_removes_outliers(self, small_setup):
+        result = fig2_activation_distribution(small_setup)
+        assert result["after"]["peak_to_rms"] < result["before"]["peak_to_rms"]
+        assert result["after"]["kurtosis"] < result["before"]["kurtosis"]
+        assert result["histogram_before"].sum() == result["histogram_after"].sum()
+
+    def test_fig3_pot_cheaper(self):
+        rows = fig3_ssm_requant_cost()
+        assert len(rows) == 6
+        for row in rows:
+            assert row["dsp_pot"] <= row["dsp_non_pot"]
+            assert row["lut_pot"] < row["lut_non_pot"]
+
+    def test_fig4b_fusion_hurts(self, small_setup):
+        rows = fig4b_fusion_error(small_setup, group_size=32)
+        assert len(rows) == small_setup.config.n_layer
+        mean_only = np.mean([r["only_rotate"] for r in rows])
+        mean_fused = np.mean([r["fuse_and_rotate"] for r in rows])
+        assert mean_fused > mean_only
+
+    def test_fig6_reordering_gains(self):
+        rows = fig6_pipeline_schedules()
+        by_mode = {row["schedule"]: row for row in rows}
+        assert by_mode["reordered"]["block_cycles"] < by_mode["sequential"]["block_cycles"]
+        assert by_mode["reordered"]["latency_reduction_vs_naive_%"] > 20
+        assert (
+            by_mode["fine_grained"]["bottleneck_utilisation_%"]
+            > by_mode["sequential"]["bottleneck_utilisation_%"]
+        )
+
+    def test_fig7_uram_reduction(self):
+        result = fig7_tiling_uram()
+        assert result["reduction_factor"] > 3.0
+
+    def test_fig9a_series_shapes(self):
+        series = fig9a_throughput_vs_seqlen(seq_lens=(128, 4096))
+        ours = series["LightMamba U280 (Mamba2-2.7B)"]
+        flight = series["FlightLLM (LLaMA2-7B)"]
+        assert ours[4096] >= ours[128]            # Mamba stays flat / improves
+        assert flight[4096] < flight[128]          # Transformers decay
+        assert ours[4096] > series["RTX 2070 (Mamba2-2.7B)"][4096]
+
+    def test_fig9b_ratios(self):
+        series = fig9b_energy_efficiency(model_presets=("mamba2-130m", "mamba2-2.7b"))
+        for preset in ("mamba2-130m", "mamba2-2.7b"):
+            assert series["ratio vs RTX 2070"][preset] > 3.0
+            assert series["ratio vs RTX 4090"][preset] > 3.0
+
+    def test_fig10_rows(self):
+        rows = fig10_ablation(include_accuracy=False)
+        assert len(rows) == 7
+        assert rows[-1]["uram"] < rows[-2]["uram"]
+        text = format_rows(rows)
+        assert "tiling" in text

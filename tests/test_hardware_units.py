@@ -1,0 +1,369 @@
+"""Unit tests for the hardware building blocks: platforms, resources, DSP,
+memory, FIFO, pipeline, EMU, MMU, HTU, SSMU."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import (
+    DramInterface,
+    EMUConfig,
+    ElementwiseMultiplyUnit,
+    Fifo,
+    HTUConfig,
+    HadamardTransformUnit,
+    MMUConfig,
+    MatrixMultiplyUnit,
+    OnChipBufferModel,
+    ResourceReport,
+    ResourceUsage,
+    RTX2070,
+    RTX4090,
+    SSMUConfig,
+    SSMUnit,
+    U280,
+    VCK190,
+    dsp_packing_factor,
+    dsps_for_macs,
+    get_platform,
+    matrix_hadamard_latency,
+    ssm_operator_costs,
+)
+from repro.hardware.memory import BRAM_BYTES, URAM_BYTES
+from repro.hardware.pipeline import LinearPipeline, PipelineStage
+
+
+class TestPlatforms:
+    def test_table4_parameters(self):
+        """Platform specs must match Table IV of the paper."""
+        assert VCK190.frequency_hz == 400e6
+        assert VCK190.dram_bandwidth_bytes_per_s == 12e9
+        assert U280.frequency_hz == 200e6
+        assert U280.dram_bandwidth_bytes_per_s == 460e9
+        assert RTX2070.dram_bandwidth_bytes_per_s == 468e9
+        assert RTX4090.dram_bandwidth_bytes_per_s == 1008e9
+
+    def test_lookup(self):
+        assert get_platform("vck190") is VCK190
+        assert get_platform("RTX 2070") is RTX2070
+        with pytest.raises(KeyError):
+            get_platform("stratix10")
+
+    def test_bytes_per_cycle(self):
+        assert VCK190.bytes_per_cycle == pytest.approx(12e9 / 400e6)
+
+
+class TestResources:
+    def test_addition_and_scale(self):
+        a = ResourceUsage(lut=100, dsp=2)
+        b = ResourceUsage(lut=50, bram=3)
+        total = a + b
+        assert total.lut == 150 and total.dsp == 2 and total.bram == 3
+        assert a.scale(3).lut == 300
+
+    def test_utilization_and_fits(self):
+        usage = ResourceUsage(lut=VCK190.lut / 2, dsp=VCK190.dsp)
+        util = usage.utilization(VCK190)
+        assert util["lut"] == pytest.approx(0.5)
+        assert usage.fits(VCK190)
+        assert not ResourceUsage(dsp=VCK190.dsp + 1).fits(VCK190)
+
+    def test_report_total_and_table(self):
+        report = ResourceReport()
+        report.add("MMU", ResourceUsage(dsp=64, lut=1000))
+        report.add("SSMU", ResourceUsage(dsp=10, lut=500))
+        report.add("MMU", ResourceUsage(lut=10))
+        assert report.total.dsp == 74
+        table = report.format_table(VCK190)
+        assert "MMU" in table and "total" in table and "utilization" in table
+
+
+class TestDSP:
+    def test_packing_factor(self):
+        assert dsp_packing_factor(8, 8) == 2.0
+        assert dsp_packing_factor(4, 4) == 2.0
+        assert dsp_packing_factor(16, 8) == 1.0
+
+    def test_dsps_for_macs_int8_packing(self):
+        """The paper: din x dout MACs need din x dout / 2 DSPs."""
+        assert dsps_for_macs(128, 8, 8) == 64
+        assert dsps_for_macs(128, 4, 4) == 64
+
+    def test_fp16_costs_more(self):
+        assert dsps_for_macs(64, 16, 16) > dsps_for_macs(64, 8, 8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dsps_for_macs(-1, 8, 8)
+        with pytest.raises(ValueError):
+            dsp_packing_factor(0, 8)
+
+
+class TestMemory:
+    def test_cycles_for_bytes(self):
+        dram = DramInterface(bandwidth_bytes_per_s=12e9, frequency_hz=400e6, efficiency=1.0)
+        # 30 bytes/cycle at full efficiency.
+        assert dram.cycles_for_bytes(300) == pytest.approx(10.0)
+
+    def test_efficiency_reduces_bandwidth(self):
+        full = DramInterface(12e9, 400e6, efficiency=1.0)
+        derated = DramInterface(12e9, 400e6, efficiency=0.5)
+        assert derated.cycles_for_bytes(1e6) == pytest.approx(2 * full.cycles_for_bytes(1e6))
+
+    def test_platform_constructor(self):
+        dram = DramInterface.for_platform(VCK190)
+        assert dram.frequency_hz == VCK190.frequency_hz
+
+    def test_buffer_allocation_thresholds(self):
+        model = OnChipBufferModel(uram_threshold_bytes=16 * 1024, banking_overhead=1.0)
+        small = model.allocate("fifo", 2 * 1024)
+        large = model.allocate("state", 1024 * 1024)
+        assert small.uram == 0 and small.bram >= 1
+        assert large.bram == 0 and large.uram == math.ceil(1024 * 1024 / URAM_BYTES)
+
+    def test_zero_buffer(self):
+        allocation = OnChipBufferModel().allocate("empty", 0)
+        assert allocation.uram == 0 and allocation.bram == 0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            DramInterface(0, 1)
+        with pytest.raises(ValueError):
+            OnChipBufferModel().allocate("x", -1)
+
+
+class TestFifoAndPipeline:
+    def test_fifo_push_pop(self):
+        fifo = Fifo("f", capacity=4)
+        assert fifo.push(3) == 3
+        assert fifo.push(3) == 1  # only one slot left
+        assert fifo.is_full
+        assert fifo.pop(10) == 4
+        assert fifo.is_empty
+        assert fifo.max_occupancy == 4
+
+    def test_fifo_validation(self):
+        with pytest.raises(ValueError):
+            Fifo("bad", capacity=0)
+
+    def test_pipeline_throughput_matches_bottleneck(self):
+        """Sustained throughput equals the slowest stage's rate."""
+        stages = [
+            PipelineStage("fast", rate=8),
+            PipelineStage("slow", rate=2),
+            PipelineStage("sink", rate=8),
+        ]
+        result = LinearPipeline(stages, fifo_capacity=32).run(400, source_rate=8)
+        assert result.throughput == pytest.approx(2.0, rel=0.1)
+        assert result.stage_utilisation["slow"] > 0.9
+
+    def test_pipeline_balanced_stages_all_busy(self):
+        stages = [PipelineStage(f"s{i}", rate=4) for i in range(5)]
+        result = LinearPipeline(stages, fifo_capacity=16).run(1000, source_rate=4)
+        for name, util in result.stage_utilisation.items():
+            assert util > 0.9, name
+
+    def test_pipeline_fifo_occupancy_small_when_balanced(self):
+        """Balanced dataflow needs only minimal FIFO depth (Sec. V-A)."""
+        stages = [PipelineStage(f"s{i}", rate=4) for i in range(4)]
+        pipeline = LinearPipeline(stages, fifo_capacity=64)
+        result = pipeline.run(800, source_rate=4)
+        assert max(result.fifo_max_occupancy.values()) <= 8
+
+    def test_pipeline_zero_elements(self):
+        result = LinearPipeline([PipelineStage("s", rate=1)]).run(0)
+        assert result.total_cycles == 0
+
+    def test_pipeline_deadlock_guard(self):
+        stages = [PipelineStage("s", rate=1)]
+        with pytest.raises(RuntimeError):
+            LinearPipeline(stages, fifo_capacity=1).run(10_000, source_rate=1, max_cycles=100)
+
+
+class TestEMU:
+    def test_pot_requant_cheaper_than_non_pot(self):
+        """PoT re-quantization removes the per-lane DSP and most LUTs (Fig. 3)."""
+        pot = ElementwiseMultiplyUnit(EMUConfig("op", lanes=16, bits=8, pot_requant=True))
+        non_pot = ElementwiseMultiplyUnit(EMUConfig("op", lanes=16, bits=8, pot_requant=False))
+        assert pot.resources().dsp < non_pot.resources().dsp
+        assert pot.resources().lut < non_pot.resources().lut
+
+    def test_fp16_more_expensive_than_int8(self):
+        fp = ElementwiseMultiplyUnit(EMUConfig("op", lanes=8, bits=16))
+        int8 = ElementwiseMultiplyUnit(EMUConfig("op", lanes=8, bits=8, pot_requant=True))
+        assert fp.resources().dsp > int8.resources().dsp
+
+    def test_cycles(self):
+        emu = ElementwiseMultiplyUnit(EMUConfig("op", lanes=16))
+        assert emu.cycles(160) == 10
+        assert emu.cycles(1) == 1
+        with pytest.raises(ValueError):
+            emu.cycles(-1)
+
+    def test_ssm_operator_costs_cover_all_fig3_ops(self):
+        costs = ssm_operator_costs(bits=8, pot_requant=True)
+        assert set(costs) == {
+            "delta_mul_A", "delta_mul_B", "B_mul_x", "A_mul_h", "h_mul_C", "x_mul_D",
+        }
+        non_pot = ssm_operator_costs(bits=8, pot_requant=False)
+        for op in costs:
+            assert costs[op].dsp <= non_pot[op].dsp
+            assert costs[op].lut < non_pot[op].lut
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            EMUConfig("op", lanes=0)
+        with pytest.raises(ValueError):
+            EMUConfig("op", lanes=4, bits=5)
+
+
+class TestMMU:
+    def test_dsp_packing_resource_count(self):
+        mmu = MatrixMultiplyUnit(MMUConfig(din=64, dout=2, weight_bits=4, act_bits=4))
+        assert mmu.resources().dsp == 64  # 128 MACs / 2 per DSP
+
+    def test_gemv_cycles_tile_count(self):
+        mmu = MatrixMultiplyUnit(MMUConfig(din=64, dout=2, weight_bits=8, act_bits=8))
+        cycles = mmu.gemv_cycles(128, 10)
+        assert cycles == 2 * 5 + mmu.pipeline_depth
+
+    def test_fp16_slower_than_int(self):
+        int_mmu = MatrixMultiplyUnit(MMUConfig(din=64, dout=4, weight_bits=4, act_bits=4))
+        fp_mmu = MatrixMultiplyUnit(MMUConfig(din=64, dout=4, weight_bits=16, act_bits=16))
+        assert fp_mmu.gemv_cycles(1024, 1024) > int_mmu.gemv_cycles(1024, 1024)
+
+    def test_gemm_scales_with_tokens(self):
+        mmu = MatrixMultiplyUnit(MMUConfig(din=64, dout=2))
+        single = mmu.gemv_cycles(256, 64) - mmu.pipeline_depth
+        batch = mmu.gemm_cycles(10, 256, 64) - mmu.pipeline_depth
+        assert batch == 10 * single
+
+    def test_weight_bytes_precision(self):
+        mmu4 = MatrixMultiplyUnit(MMUConfig(weight_bits=4))
+        mmu8 = MatrixMultiplyUnit(MMUConfig(weight_bits=8))
+        mmu16 = MatrixMultiplyUnit(MMUConfig(weight_bits=16))
+        b4 = mmu4.weight_bytes(1024, 1024)
+        b8 = mmu8.weight_bytes(1024, 1024)
+        b16 = mmu16.weight_bytes(1024, 1024)
+        assert b4 < b8 < b16
+        assert b16 == 1024 * 1024 * 2
+        # 4-bit: codes are exactly half the 8-bit codes; scales add a bit more.
+        assert b4 > 1024 * 1024 * 0.5
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            MMUConfig(din=0)
+        mmu = MatrixMultiplyUnit(MMUConfig())
+        with pytest.raises(ValueError):
+            mmu.gemv_cycles(0, 10)
+
+    @given(st.integers(min_value=1, max_value=4096), st.integers(min_value=1, max_value=4096))
+    @settings(max_examples=30, deadline=None)
+    def test_gemv_cycles_lower_bound(self, in_features, out_features):
+        """Tiled execution can never beat the ideal MAC-rate bound."""
+        mmu = MatrixMultiplyUnit(MMUConfig(din=64, dout=4, weight_bits=8, act_bits=8))
+        ideal = in_features * out_features / mmu.config.effective_macs_per_cycle
+        assert mmu.gemv_cycles(in_features, out_features) >= ideal
+
+
+class TestHTU:
+    def test_128_point_unit_has_seven_stages(self):
+        """The 128-point HTU of Fig. 5(d) has seven butterfly stages."""
+        htu = HadamardTransformUnit(HTUConfig(dim=128))
+        assert htu.num_stages == 7
+
+    def test_mamba_2p7b_decomposition(self):
+        """d_inner = 5120 decomposes into a power-of-two and a Paley factor."""
+        htu = HadamardTransformUnit(HTUConfig(dim=5120))
+        assert htu.pow2_factor * htu.base_factor == 5120
+        assert htu.base_factor in (20, 40)
+
+    def test_fht_reduces_latency_vs_matrix_multiply(self):
+        """Fig. 5(d): ~72% lower latency than the MM implementation with the
+        same arithmetic resources (here: equal MAC/add throughput)."""
+        htu = HadamardTransformUnit(HTUConfig(dim=128, butterflies_per_stage=4, tiny_mm_lanes=8))
+        fht_cycles = htu.transform_cycles()
+        mm_cycles = matrix_hadamard_latency(128, 8)
+        reduction = 1.0 - fht_cycles / mm_cycles
+        assert reduction > 0.6
+
+    def test_mm_mode_slower_than_fht(self):
+        fht = HadamardTransformUnit(HTUConfig(dim=5120, use_fht=True))
+        mm = HadamardTransformUnit(HTUConfig(dim=5120, use_fht=False))
+        assert mm.transform_cycles() > fht.transform_cycles()
+
+    def test_fht_resources_use_no_dsp_for_pow2(self):
+        htu = HadamardTransformUnit(HTUConfig(dim=128, use_fht=True))
+        assert htu.resources().dsp == 0
+        assert htu.resources().bram == 2 * 7
+
+    def test_composite_adds_tiny_mmu(self):
+        htu = HadamardTransformUnit(HTUConfig(dim=5120, use_fht=True, tiny_mm_lanes=40))
+        assert htu.resources().dsp > 0
+
+    def test_tick_simulation_matches_analytic_order(self):
+        htu = HadamardTransformUnit(HTUConfig(dim=128, butterflies_per_stage=1))
+        sim = htu.simulate_fht_pipeline(vectors=4)
+        analytic = htu.transform_cycles(vectors=4)
+        assert sim.total_cycles == pytest.approx(analytic, rel=0.35)
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            HTUConfig(dim=46)  # no Hadamard construction
+        with pytest.raises(ValueError):
+            matrix_hadamard_latency(0, 4)
+
+
+class TestSSMU:
+    def _unit(self, **kwargs):
+        defaults = dict(nheads=80, headdim=64, d_state=128)
+        defaults.update(kwargs)
+        return SSMUnit(SSMUConfig(**defaults))
+
+    def test_cycles_per_head(self):
+        unit = self._unit()
+        lanes = unit.config.lanes["B_mul_x"]
+        assert unit.cycles_per_head() == math.ceil(64 * 128 / lanes)
+
+    def test_fine_grained_removes_head_bubbles(self):
+        unit = self._unit()
+        coarse = unit.total_cycles(fine_grained=False)
+        fine = unit.total_cycles(fine_grained=True)
+        assert fine < coarse
+
+    def test_uram_reduction_from_tiling(self):
+        """Fine-grained tiling reduces the SSMU URAM by roughly 4x (Fig. 7)."""
+        unit = self._unit()
+        before = unit.uram_usage(fine_grained=False)
+        after = unit.uram_usage(fine_grained=True)
+        assert before / max(after, 1) > 3.0
+
+    def test_quantized_ssmu_cheaper_than_fp16(self):
+        int8 = self._unit(bits=8).resources()
+        fp16 = self._unit(bits=16).resources()
+        assert int8.dsp < fp16.dsp
+        assert int8.lut < fp16.lut
+
+    def test_pipeline_simulation_is_balanced(self):
+        unit = self._unit(parallelism={"delta_mul_B": 2, "B_mul_x": 2, "A_mul_h": 2, "h_mul_C": 2})
+        result = unit.simulate_pipeline(heads=2)
+        # The state-sized stages should be busy nearly all the time.
+        assert result.stage_utilisation["B_mul_x"] > 0.8
+        assert result.stage_utilisation["h_mul_C"] > 0.8
+
+    def test_lane_scaling_speeds_up(self):
+        narrow = self._unit()
+        wide = self._unit(parallelism={op: lanes * 16 for op, lanes in narrow.config.lanes.items()})
+        assert wide.cycles_per_head() < narrow.cycles_per_head()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SSMUConfig(nheads=0, headdim=64, d_state=128)
+        with pytest.raises(ValueError):
+            SSMUConfig(nheads=8, headdim=64, d_state=128, bits=12)
+        unit = self._unit()
+        with pytest.raises(ValueError):
+            unit.total_cycles(heads=-1)

@@ -1,0 +1,122 @@
+"""End-to-end integration tests crossing package boundaries."""
+
+import numpy as np
+import pytest
+
+from repro.eval import ZipfCorpusGenerator, build_reference_setup, top1_agreement
+from repro.hardware import AcceleratorConfig, LightMambaAccelerator, VCK190
+from repro.mamba import InferenceCache, InitConfig, Mamba2Model, get_preset, greedy_decode
+from repro.quant import QuantConfig, QuantMethod, quantize_model
+from repro.quant.rotation import RotationConfig, rotate_model
+
+
+@pytest.fixture(scope="module")
+def model():
+    return Mamba2Model.from_config(get_preset("mamba2-tiny"), InitConfig(seed=42))
+
+
+class TestQuantizedDecodePath:
+    """The quantized models must behave consistently across prefill and decode."""
+
+    @pytest.mark.parametrize(
+        "method", [QuantMethod.RTN, QuantMethod.LIGHTMAMBA, QuantMethod.LIGHTMAMBA_STAR]
+    )
+    def test_prefill_step_matches_forward(self, model, method):
+        quantized = quantize_model(model, QuantConfig.w4a4(method, group_size=32))
+        rng = np.random.default_rng(0)
+        tokens = rng.integers(0, model.config.vocab_size, size=10)
+        full = quantized.forward(tokens)
+        logits, cache = quantized.prefill(tokens[:-1])
+        step = quantized.step(int(tokens[-1]), cache)
+        np.testing.assert_allclose(logits, full[-2], rtol=1e-7, atol=1e-7)
+        np.testing.assert_allclose(step, full[-1], rtol=1e-7, atol=1e-7)
+
+    def test_greedy_decode_deterministic_for_quantized(self, model):
+        quantized = quantize_model(
+            model, QuantConfig.w4a4(QuantMethod.LIGHTMAMBA_STAR, group_size=32)
+        )
+        a = greedy_decode(quantized, [3, 1, 4], max_new_tokens=6)
+        b = greedy_decode(quantized, [3, 1, 4], max_new_tokens=6)
+        assert a.tokens == b.tokens
+
+    def test_rotated_then_quantized_tracks_fp(self, model):
+        """Rotation before quantization must not hurt FP-agreement badly."""
+        sequences = ZipfCorpusGenerator(model.config.vocab_size, seed=9).sequences(3, 24)
+        q_rtn = quantize_model(model, QuantConfig.w8a8(QuantMethod.RTN, group_size=32))
+        q_rot = quantize_model(model, QuantConfig.w8a8(QuantMethod.LIGHTMAMBA, group_size=32))
+        assert top1_agreement(model, q_rot, sequences) >= 0.95
+        assert top1_agreement(model, q_rtn, sequences) >= 0.95
+
+    def test_rotation_with_distinct_seeds_stays_equivalent(self, model):
+        """Each rotation seed produces a different but equivalent FP model."""
+        tokens = np.arange(6)
+        reference = model.forward(tokens)
+        for seed in (1, 2, 3):
+            rotated = rotate_model(model, RotationConfig(seed=seed)).model
+            np.testing.assert_allclose(rotated.forward(tokens), reference, rtol=1e-5, atol=1e-5)
+
+
+class TestCoDesignConsistency:
+    def test_accelerator_matches_quant_precision(self):
+        """The hardware model must be evaluated at the algorithm's precision."""
+        from repro.core import CoDesignConfig
+
+        for factory, bits in [
+            (CoDesignConfig.vck190_w4a4, 4),
+            (CoDesignConfig.vck190_w8a8, 8),
+        ]:
+            config = factory()
+            assert config.accelerator.weight_bits == bits
+            assert config.accelerator.act_bits == bits
+
+    def test_throughput_scales_with_model_size(self):
+        """Smaller Mamba2 models decode faster on the same accelerator."""
+        config = AcceleratorConfig(platform=VCK190)
+        tps = {
+            name: LightMambaAccelerator(config, get_preset(name)).tokens_per_second()
+            for name in ("mamba2-130m", "mamba2-780m", "mamba2-2.7b")
+        }
+        assert tps["mamba2-130m"] > tps["mamba2-780m"] > tps["mamba2-2.7b"]
+
+    def test_memory_bound_throughput_tracks_weight_bytes(self):
+        """On the bandwidth-bound VCK190 the W8A8/W4A4 throughput ratio is ~2."""
+        model = get_preset("mamba2-2.7b")
+        w4 = LightMambaAccelerator(AcceleratorConfig(platform=VCK190), model)
+        w8 = LightMambaAccelerator(
+            AcceleratorConfig(platform=VCK190, weight_bits=8, act_bits=8), model
+        )
+        ratio = w4.tokens_per_second() / w8.tokens_per_second()
+        assert 1.6 < ratio < 2.2
+
+
+class TestReferenceSetup:
+    def test_small_setup_is_complete_and_deterministic(self):
+        a = build_reference_setup(
+            preset="mamba2-tiny", n_layer=2, num_calibration_sequences=2,
+            calibration_seq_len=12, num_eval_sequences=1, eval_seq_len=12,
+            num_task_examples=2, seed=5,
+        )
+        b = build_reference_setup(
+            preset="mamba2-tiny", n_layer=2, num_calibration_sequences=2,
+            calibration_seq_len=12, num_eval_sequences=1, eval_seq_len=12,
+            num_task_examples=2, seed=5,
+        )
+        np.testing.assert_array_equal(a.model.embedding, b.model.embedding)
+        np.testing.assert_array_equal(
+            a.calibration_sequences[0], b.calibration_sequences[0]
+        )
+        assert a.config.n_layer == 2
+        assert a.calibration.num_layers == 2
+        assert len(a.tasks) == 7  # one stand-in per paper benchmark
+
+    def test_reference_model_has_scattered_outliers(self):
+        setup = build_reference_setup(
+            preset="mamba2-tiny", n_layer=3, num_calibration_sequences=2,
+            calibration_seq_len=16, num_eval_sequences=1, eval_seq_len=16,
+            num_task_examples=2,
+        )
+        collect = []
+        setup.model.forward(setup.evaluation_sequences[0], collect=collect)
+        acts = collect[1]["out_proj_input"]
+        kurtosis = np.mean(acts**4) / np.mean(acts**2) ** 2
+        assert kurtosis > 10.0

@@ -1,0 +1,120 @@
+"""Unit tests for the elementary operators in repro.mamba.ops."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.mamba.ops import (
+    cross_entropy,
+    rms_normalize,
+    sigmoid,
+    silu,
+    softmax,
+    softplus,
+)
+
+finite_floats = st.floats(min_value=-50, max_value=50, allow_nan=False)
+
+
+class TestSigmoidSilu:
+    def test_sigmoid_midpoint(self):
+        assert sigmoid(np.array(0.0)) == pytest.approx(0.5)
+
+    def test_sigmoid_extremes_are_finite(self):
+        out = sigmoid(np.array([-1e4, 1e4]))
+        assert np.all(np.isfinite(out))
+        assert out[0] == pytest.approx(0.0, abs=1e-12)
+        assert out[1] == pytest.approx(1.0, abs=1e-12)
+
+    @given(hnp.arrays(np.float64, (16,), elements=finite_floats))
+    @settings(max_examples=50, deadline=None)
+    def test_sigmoid_bounded(self, x):
+        out = sigmoid(x)
+        assert np.all(out >= 0.0) and np.all(out <= 1.0)
+
+    def test_silu_matches_definition(self):
+        x = np.linspace(-5, 5, 11)
+        np.testing.assert_allclose(silu(x), x / (1 + np.exp(-x)), rtol=1e-12)
+
+    def test_silu_zero(self):
+        assert silu(np.array(0.0)) == pytest.approx(0.0)
+
+
+class TestSoftplus:
+    def test_matches_naive_for_moderate_inputs(self):
+        x = np.linspace(-10, 10, 41)
+        np.testing.assert_allclose(softplus(x), np.log1p(np.exp(x)), rtol=1e-10)
+
+    def test_large_input_is_linear(self):
+        assert softplus(np.array(100.0)) == pytest.approx(100.0)
+
+    @given(hnp.arrays(np.float64, (8,), elements=finite_floats))
+    @settings(max_examples=50, deadline=None)
+    def test_positive_and_monotone(self, x):
+        out = softplus(x)
+        assert np.all(out > 0)
+        order = np.argsort(x)
+        assert np.all(np.diff(out[order]) >= -1e-12)
+
+
+class TestSoftmax:
+    def test_sums_to_one(self):
+        x = np.random.default_rng(0).normal(size=(5, 7))
+        out = softmax(x, axis=-1)
+        np.testing.assert_allclose(out.sum(axis=-1), np.ones(5), rtol=1e-12)
+
+    def test_shift_invariance(self):
+        x = np.array([1.0, 2.0, 3.0])
+        np.testing.assert_allclose(softmax(x), softmax(x + 100.0), rtol=1e-12)
+
+    def test_handles_large_values(self):
+        out = softmax(np.array([1e4, 0.0]))
+        assert np.all(np.isfinite(out))
+        assert out[0] == pytest.approx(1.0)
+
+
+class TestRmsNormalize:
+    def test_unit_rms(self):
+        x = np.random.default_rng(1).normal(size=(3, 64)) * 10
+        out = rms_normalize(x, eps=0.0)
+        rms = np.sqrt(np.mean(out**2, axis=-1))
+        np.testing.assert_allclose(rms, np.ones(3), rtol=1e-9)
+
+    def test_rotation_invariance(self):
+        """RMS normalisation commutes with orthogonal rotation (no scale).
+
+        This is the property the rotation-assisted quantization relies on to
+        fuse rotations through RMSNorm layers (Sec. IV-A of the paper).
+        """
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(5, 16))
+        q, _ = np.linalg.qr(rng.normal(size=(16, 16)))
+        left = rms_normalize(x @ q, eps=0.0)
+        right = rms_normalize(x, eps=0.0) @ q
+        np.testing.assert_allclose(left, right, rtol=1e-9, atol=1e-12)
+
+    def test_zero_input_is_finite(self):
+        out = rms_normalize(np.zeros((2, 8)))
+        assert np.all(np.isfinite(out))
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction(self):
+        logits = np.full((4, 10), -100.0)
+        targets = np.array([1, 3, 5, 7])
+        logits[np.arange(4), targets] = 100.0
+        assert cross_entropy(logits, targets) == pytest.approx(0.0, abs=1e-9)
+
+    def test_uniform_prediction(self):
+        vocab = 32
+        logits = np.zeros((6, vocab))
+        targets = np.arange(6)
+        assert cross_entropy(logits, targets) == pytest.approx(np.log(vocab), rel=1e-9)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            cross_entropy(np.zeros((3, 4, 5)), np.zeros(3, dtype=int))
+        with pytest.raises(ValueError):
+            cross_entropy(np.zeros((3, 4)), np.zeros(2, dtype=int))

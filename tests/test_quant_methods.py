@@ -1,0 +1,276 @@
+"""Tests for SmoothQuant, OS+, the quantized linear layer and the SSM quantizer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.mamba.ssm import SSMParams, ssm_step
+from repro.quant import (
+    OSPlusConfig,
+    QuantizedLinear,
+    SmoothQuantConfig,
+    SSMQuantConfig,
+    QuantizedSSMStep,
+    compute_shift_and_scale,
+    compute_smoothing_scales,
+)
+from repro.quant.outlier_suppression import apply_shift_and_scale
+from repro.quant.smoothquant import apply_smoothing
+from repro.quant.error import relative_error
+from repro.quant.rtn import rtn_quantize_activation, rtn_quantize_weight
+
+finite = st.floats(min_value=-10, max_value=10, allow_nan=False)
+
+
+class TestSmoothQuant:
+    def _setup(self, seed=0, outlier_channel=True):
+        rng = np.random.default_rng(seed)
+        acts = rng.normal(size=(64, 32))
+        if outlier_channel:
+            acts[:, 5] *= 50.0  # token-stable outlier channel
+        weight = rng.normal(size=(48, 32))
+        return acts, weight
+
+    def test_transformation_is_exact(self):
+        acts, weight = self._setup()
+        scales = compute_smoothing_scales(np.max(np.abs(acts), axis=0), weight)
+        new_acts, new_weight = apply_smoothing(acts, weight, scales)
+        np.testing.assert_allclose(new_acts @ new_weight.T, acts @ weight.T, rtol=1e-9)
+
+    def test_reduces_activation_outliers(self):
+        acts, weight = self._setup()
+        scales = compute_smoothing_scales(np.max(np.abs(acts), axis=0), weight)
+        new_acts, _ = apply_smoothing(acts, weight, scales)
+        assert np.max(np.abs(new_acts)) < np.max(np.abs(acts))
+
+    def test_improves_quant_error_for_fixed_channel_outliers(self):
+        """SmoothQuant helps when outliers persist in fixed channels."""
+        acts, weight = self._setup()
+        scales = compute_smoothing_scales(np.max(np.abs(acts), axis=0), weight)
+        new_acts, new_weight = apply_smoothing(acts, weight, scales)
+        base = acts @ weight.T
+        err_plain = relative_error(
+            base, rtn_quantize_activation(acts, 4, 32) @ rtn_quantize_weight(weight, 4, 32).T
+        )
+        err_smooth = relative_error(
+            base,
+            rtn_quantize_activation(new_acts, 4, 32) @ rtn_quantize_weight(new_weight, 4, 32).T,
+        )
+        assert err_smooth < err_plain
+
+    def test_alpha_zero_and_one(self):
+        acts, weight = self._setup()
+        absmax = np.max(np.abs(acts), axis=0)
+        s0 = compute_smoothing_scales(absmax, weight, SmoothQuantConfig(alpha=0.0))
+        s1 = compute_smoothing_scales(absmax, weight, SmoothQuantConfig(alpha=1.0))
+        # alpha=0 ignores activations; alpha=1 ignores weights.
+        w_absmax = np.max(np.abs(weight), axis=0)
+        np.testing.assert_allclose(s0, np.maximum(1.0 / w_absmax, 1e-5), rtol=1e-9)
+        np.testing.assert_allclose(s1, np.maximum(absmax, 1e-5), rtol=1e-9)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SmoothQuantConfig(alpha=1.5)
+        with pytest.raises(ValueError):
+            compute_smoothing_scales(np.ones(8), np.ones((4, 9)))
+
+    def test_dead_channel_does_not_blow_up(self):
+        acts, weight = self._setup()
+        acts[:, 0] = 0.0
+        scales = compute_smoothing_scales(np.max(np.abs(acts), axis=0), weight)
+        assert np.all(np.isfinite(scales)) and np.all(scales > 0)
+
+
+class TestOSPlus:
+    def _setup(self, seed=1):
+        rng = np.random.default_rng(seed)
+        acts = rng.normal(size=(64, 32)) + 3.0  # asymmetric activations
+        acts[:, 7] = acts[:, 7] * 20 + 40.0
+        weight = rng.normal(size=(48, 32))
+        return acts, weight
+
+    def test_transformation_is_exact_with_bias(self):
+        acts, weight = self._setup()
+        shift, scale = compute_shift_and_scale(acts.min(axis=0), acts.max(axis=0), weight)
+        new_acts, new_weight, bias = apply_shift_and_scale(acts, weight, shift, scale)
+        np.testing.assert_allclose(
+            new_acts @ new_weight.T + bias, acts @ weight.T, rtol=1e-9
+        )
+
+    def test_shift_centres_channels(self):
+        acts, weight = self._setup()
+        shift, scale = compute_shift_and_scale(acts.min(axis=0), acts.max(axis=0), weight)
+        new_acts, _, _ = apply_shift_and_scale(acts, weight, shift, scale)
+        hi = new_acts.max(axis=0)
+        lo = new_acts.min(axis=0)
+        np.testing.assert_allclose(hi, -lo, rtol=1e-9)
+
+    def test_helps_on_calibration_distribution(self):
+        acts, weight = self._setup()
+        shift, scale = compute_shift_and_scale(acts.min(axis=0), acts.max(axis=0), weight)
+        new_acts, new_weight, bias = apply_shift_and_scale(acts, weight, shift, scale)
+        base = acts @ weight.T
+        err_plain = relative_error(
+            base, rtn_quantize_activation(acts, 4, 32) @ rtn_quantize_weight(weight, 4, 32).T
+        )
+        err_os = relative_error(
+            base,
+            rtn_quantize_activation(new_acts, 4, 32) @ rtn_quantize_weight(new_weight, 4, 32).T
+            + bias,
+        )
+        assert err_os < err_plain
+
+    def test_hurts_when_outliers_move_channels(self):
+        """Scattered outliers defeat calibrated channel-wise scaling (Sec. III).
+
+        The scale learnt on calibration data amplifies channels that were
+        small during calibration; when an outlier later lands on such a
+        channel the quantization error explodes -- the OS+ collapse in
+        Table II / Table III.
+        """
+        rng = np.random.default_rng(3)
+        weight = rng.normal(size=(48, 32))
+        calib = rng.normal(size=(64, 32))
+        calib[:, 4] *= 30.0                      # calibration-time outlier channel
+        shift, scale = compute_shift_and_scale(calib.min(axis=0), calib.max(axis=0), weight)
+
+        test = rng.normal(size=(64, 32))
+        test[:, 20] *= 30.0                      # outlier moved to another channel
+        new_test, new_weight, bias = apply_shift_and_scale(test, weight, shift, scale)
+        base = test @ weight.T
+        err_plain = relative_error(
+            base, rtn_quantize_activation(test, 4, 32) @ rtn_quantize_weight(weight, 4, 32).T
+        )
+        err_os = relative_error(
+            base,
+            rtn_quantize_activation(new_test, 4, 32) @ rtn_quantize_weight(new_weight, 4, 32).T
+            + bias,
+        )
+        assert err_os > err_plain
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            OSPlusConfig(alpha=-0.1)
+        with pytest.raises(ValueError):
+            compute_shift_and_scale(np.zeros(4), np.zeros(5), np.ones((2, 4)))
+
+
+class TestQuantizedLinear:
+    @pytest.mark.parametrize("w_bits,a_bits", [(8, 8), (4, 4), (4, 8)])
+    def test_integer_path_matches_fake_quant(self, w_bits, a_bits):
+        """The INT-code matmul must agree with the fake-quant float path."""
+        rng = np.random.default_rng(w_bits * 10 + a_bits)
+        weight = rng.normal(size=(24, 64))
+        layer = QuantizedLinear.from_weight(weight, w_bits, a_bits, group_size=16)
+        x = rng.normal(size=(5, 64))
+        np.testing.assert_allclose(layer.forward_integer(x), layer.forward(x), rtol=1e-9, atol=1e-9)
+
+    def test_single_token_input(self):
+        rng = np.random.default_rng(0)
+        layer = QuantizedLinear.from_weight(rng.normal(size=(8, 16)), 8, 8)
+        x = rng.normal(size=16)
+        assert layer(x).shape == (8,)
+        np.testing.assert_allclose(layer.forward_integer(x), layer(x), rtol=1e-9)
+
+    def test_bias_applied(self):
+        rng = np.random.default_rng(1)
+        bias = rng.normal(size=8)
+        layer = QuantizedLinear.from_weight(rng.normal(size=(8, 16)), 8, 8, bias=bias)
+        x = np.zeros(16)
+        np.testing.assert_allclose(layer(x), bias, atol=1e-9)
+
+    def test_quantization_accuracy_8bit(self):
+        rng = np.random.default_rng(2)
+        weight = rng.normal(size=(32, 64))
+        layer = QuantizedLinear.from_weight(weight, 8, 8)
+        x = rng.normal(size=(10, 64))
+        assert relative_error(x @ weight.T, layer(x)) < 0.02
+
+    def test_memory_model_w4_smaller_than_w8(self):
+        rng = np.random.default_rng(3)
+        weight = rng.normal(size=(128, 128))
+        w4 = QuantizedLinear.from_weight(weight, 4, 4).memory_bytes()
+        w8 = QuantizedLinear.from_weight(weight, 8, 8).memory_bytes()
+        assert w4 < w8
+
+
+class TestQuantizedSSM:
+    def _inputs(self, seed=0, nheads=4, headdim=8, d_state=16):
+        rng = np.random.default_rng(seed)
+        params = SSMParams(
+            A_log=np.log(rng.uniform(1, 8, size=nheads)),
+            D=rng.normal(1.0, 0.1, size=nheads),
+            dt_bias=rng.normal(size=nheads),
+        )
+        x = rng.normal(size=(nheads, headdim))
+        B = rng.normal(size=d_state)
+        C = rng.normal(size=d_state)
+        dt = rng.normal(size=nheads)
+        state = rng.normal(size=(nheads, headdim, d_state)) * 0.5
+        return params, x, B, C, dt, state
+
+    def test_output_close_to_fp(self):
+        params, x, B, C, dt, state = self._inputs()
+        y_fp, s_fp = ssm_step(params, x, B, C, dt, state)
+        y_q, s_q = QuantizedSSMStep(SSMQuantConfig(bits=8, group_size=8))(params, x, B, C, dt, state)
+        # The chain of INT8 re-quantizations keeps the state very accurate and
+        # the output within a modest relative error.
+        assert relative_error(y_fp, y_q) < 0.15
+        assert relative_error(s_fp, s_q) < 0.05
+
+    def test_shapes_match_reference(self):
+        params, x, B, C, dt, state = self._inputs()
+        y, s = QuantizedSSMStep()(params, x, B, C, dt, state)
+        assert y.shape == x.shape
+        assert s.shape == state.shape
+
+    def test_pot_vs_non_pot_both_reasonable(self):
+        """PoT scales lose little accuracy compared to exact scales (Sec. IV-B)."""
+        params, x, B, C, dt, state = self._inputs(seed=5)
+        y_fp, _ = ssm_step(params, x, B, C, dt, state)
+        y_pot, _ = QuantizedSSMStep(SSMQuantConfig(pot_scale=True, group_size=8))(
+            params, x, B, C, dt, state
+        )
+        y_exact, _ = QuantizedSSMStep(SSMQuantConfig(pot_scale=False, group_size=8))(
+            params, x, B, C, dt, state
+        )
+        err_pot = relative_error(y_fp, y_pot)
+        err_exact = relative_error(y_fp, y_exact)
+        assert err_pot < 0.15
+        # PoT (ceil) scales can cost up to 2x the step per re-quantization
+        # stage; across the chained EMs the compounded factor stays small.
+        assert err_pot <= 4.0 * err_exact + 1e-6
+
+    def test_lower_bits_higher_error(self):
+        params, x, B, C, dt, state = self._inputs(seed=6)
+        y_fp, _ = ssm_step(params, x, B, C, dt, state)
+        err4 = relative_error(
+            y_fp, QuantizedSSMStep(SSMQuantConfig(bits=4, group_size=8))(params, x, B, C, dt, state)[0]
+        )
+        err8 = relative_error(
+            y_fp, QuantizedSSMStep(SSMQuantConfig(bits=8, group_size=8))(params, x, B, C, dt, state)[0]
+        )
+        assert err8 < err4
+
+    def test_recurrence_stays_bounded(self):
+        """Repeated quantized steps must not diverge (state stays finite)."""
+        params, x, B, C, dt, state = self._inputs(seed=7)
+        step = QuantizedSSMStep(SSMQuantConfig(bits=8, group_size=8))
+        rng = np.random.default_rng(8)
+        for _ in range(50):
+            x_t = rng.normal(size=x.shape)
+            y, state = step(params, x_t, B, C, dt, state)
+        assert np.all(np.isfinite(state))
+        assert np.max(np.abs(state)) < 1e3
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_quantized_step_deterministic(self, seed):
+        params, x, B, C, dt, state = self._inputs(seed=seed % 100)
+        step = QuantizedSSMStep()
+        y1, s1 = step(params, x, B, C, dt, state)
+        y2, s2 = step(params, x, B, C, dt, state)
+        np.testing.assert_array_equal(y1, y2)
+        np.testing.assert_array_equal(s1, s2)
