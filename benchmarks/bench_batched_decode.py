@@ -1,0 +1,113 @@
+"""Batched decode throughput versus batch size.
+
+Mamba decode reads the full weight set once per token regardless of how many
+requests advance (the fixed-size recurrent cache, Fig. 9a of the paper), so a
+batched decode step amortises both the weight traffic and the per-step
+dispatch overhead across the batch.  This benchmark decodes the same request
+set (a) request-by-request with the single-sequence decoder and (b) as one
+batch with :class:`repro.serving.BatchedGenerator`, and reports tokens/sec.
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_batched_decode.py``) or
+through the benchmark harness (``pytest benchmarks/bench_batched_decode.py``).
+"""
+
+import time
+
+import numpy as np
+
+from repro.bench import format_series
+from repro.mamba import InitConfig, Mamba2Config, Mamba2Model, greedy_decode
+from repro.serving import BatchedGenerator
+
+#: Decode-bound serving configuration: deep and narrow, so per-token cost is
+#: dominated by the per-step weight reads and dispatch overhead that batching
+#: amortises (the regime of Fig. 9a), not by batch-proportional state math.
+SERVING_BENCH_CONFIG = Mamba2Config(
+    name="serving-bench",
+    d_model=32,
+    n_layer=24,
+    vocab_size=256,
+    d_state=8,
+    headdim=8,
+)
+
+
+def _make_requests(model, batch_size, prompt_len, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        rng.integers(0, model.config.vocab_size, size=prompt_len)
+        for _ in range(batch_size)
+    ]
+
+
+def bench_batched_decode(
+    batch_sizes=(1, 2, 4, 8),
+    max_new_tokens=64,
+    prompt_len=4,
+    config: Mamba2Config = SERVING_BENCH_CONFIG,
+    repeats=3,
+):
+    """Measure sequential-loop vs batched decode throughput.
+
+    Returns ``{"series": {...}, "speedup": {batch_size: x}}`` where throughput
+    counts generated tokens per wall-clock second (prefill included, as a
+    request would experience it) and ``speedup`` is batched over sequential at
+    equal batch size.  ``repeats`` runs are taken per point and the fastest is
+    kept, damping scheduler noise.
+    """
+    model = Mamba2Model.from_config(config, InitConfig(seed=0))
+    generator = BatchedGenerator(model)
+    sequential = {}
+    batched = {}
+    for batch_size in batch_sizes:
+        prompts = _make_requests(model, batch_size, prompt_len)
+        total_tokens = batch_size * max_new_tokens
+
+        best = np.inf
+        for _ in range(repeats):
+            start = time.perf_counter()
+            results = [greedy_decode(model, p, max_new_tokens) for p in prompts]
+            best = min(best, time.perf_counter() - start)
+        assert sum(len(r) for r in results) == total_tokens
+        sequential[batch_size] = total_tokens / best
+
+        best = np.inf
+        for _ in range(repeats):
+            start = time.perf_counter()
+            results = generator.generate(prompts, max_new_tokens)
+            best = min(best, time.perf_counter() - start)
+        assert sum(len(r) for r in results) == total_tokens
+        batched[batch_size] = total_tokens / best
+
+    return {
+        "series": {
+            "sequential loop (tok/s)": sequential,
+            "batched decode (tok/s)": batched,
+        },
+        "speedup": {bs: batched[bs] / sequential[bs] for bs in batch_sizes},
+    }
+
+
+def test_batched_decode_throughput(benchmark, save_output):
+    results = benchmark.pedantic(bench_batched_decode, rounds=1, iterations=1)
+    series = dict(results["series"])
+    series["speedup (x)"] = results["speedup"]
+    text = format_series(
+        series, x_label="batch_size", title="Batched decode throughput vs batch size"
+    )
+    save_output("batched_decode_throughput", text)
+
+    # Batching must amortise the per-step cost: the acceptance bar is 4x at
+    # batch size 8 over looping eight single-sequence decodes.
+    assert results["speedup"][8] >= 4.0, results["speedup"]
+
+
+if __name__ == "__main__":
+    results = bench_batched_decode()
+    series = dict(results["series"])
+    series["speedup (x)"] = results["speedup"]
+    print(
+        format_series(
+            series, x_label="batch_size", title="Batched decode throughput vs batch size"
+        )
+    )

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Serving demo: batched generation and continuous batching.
+
+This example exercises the ``repro.serving`` subsystem:
+
+1. decode a batch of ragged prompts in one shot with ``BatchedGenerator``
+   (greedy and sampled) and verify the results are identical to per-request
+   single-sequence decoding;
+2. serve a stream of requests through the continuous-batching
+   ``InferenceEngine`` with fewer batch slots than requests, and show the
+   batching efficiency counters;
+3. compare wall-clock throughput of the batched path against looping the
+   single-sequence decoder.
+
+Run with:  python examples/serving_demo.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.mamba import ByteTokenizer, InitConfig, Mamba2Model, get_preset, greedy_decode
+from repro.serving import BatchedGenerator, InferenceEngine, Request
+
+
+def main() -> None:
+    tokenizer = ByteTokenizer()
+    config = get_preset("mamba2-tiny").with_overrides(vocab_size=tokenizer.vocab_size)
+    model = Mamba2Model.from_config(config, InitConfig(seed=0))
+    print(f"model: {config.name}, {model.num_parameters():,} parameters")
+
+    # ------------------------------------------------------------------
+    # 1. Batched generation over ragged prompts.
+    # ------------------------------------------------------------------
+    texts = ["LightMamba ", "FPGA acceleration: ", "Quantized SSM ", "Batch "]
+    prompts = [tokenizer.encode(t) for t in texts]
+    generator = BatchedGenerator(model)
+
+    results = generator.generate(prompts, max_new_tokens=12, stop_tokens=tokenizer.eos_id)
+    print("\nbatched greedy generation:")
+    for text, result in zip(texts, results):
+        solo = greedy_decode(model, tokenizer.encode(text), 12, stop_token=tokenizer.eos_id)
+        match = "matches" if solo.tokens == result.tokens else "MISMATCH vs"
+        print(f"  {text!r:24s} -> {tokenizer.decode(result.tokens)!r}  "
+              f"({match} single-sequence decode)")
+
+    sampled = generator.generate(
+        prompts, max_new_tokens=12, temperature=0.9, top_k=32, seeds=[7, 8, 9, 10]
+    )
+    print("\nbatched sampling (temperature 0.9, exact top-32, per-request seeds):")
+    for text, result in zip(texts, sampled):
+        print(f"  {text!r:24s} -> {tokenizer.decode(result.tokens)!r} "
+              f"(mean logprob {np.mean(result.logprobs):.2f})")
+
+    # ------------------------------------------------------------------
+    # 2. Continuous batching: 8 requests through 3 slots.
+    # ------------------------------------------------------------------
+    engine = InferenceEngine(model, max_batch_size=3)
+    rng = np.random.default_rng(0)
+    for i in range(8):
+        prompt = tokenizer.encode("request %d: " % i)
+        engine.submit(
+            Request(prompt=tuple(prompt), max_new_tokens=int(rng.integers(4, 14)))
+        )
+    completions = engine.run()
+    stats = engine.stats
+    print(f"\ncontinuous batching: {stats.completed} requests through "
+          f"{engine.max_batch_size} slots in {stats.engine_steps} engine steps")
+    print(f"  decode calls           : {stats.decode_calls}")
+    print(f"  tokens per decode call : {stats.tokens_per_decode_call:.2f} "
+          f"(batching efficiency)")
+    for completion in completions[:3]:
+        print(f"  request {completion.request_id}: "
+              f"{tokenizer.decode(completion.result.tokens)!r}")
+
+    # ------------------------------------------------------------------
+    # 3. Throughput: batched vs looping the single-sequence decoder.
+    # ------------------------------------------------------------------
+    bench_prompts = [tokenizer.encode("throughput %d" % i) for i in range(8)]
+    start = time.perf_counter()
+    for prompt in bench_prompts:
+        greedy_decode(model, prompt, 32)
+    seq_time = time.perf_counter() - start
+    start = time.perf_counter()
+    generator.generate(bench_prompts, 32)
+    batch_time = time.perf_counter() - start
+    total = 8 * 32
+    print(f"\nthroughput (8 requests x 32 tokens):")
+    print(f"  sequential loop : {total / seq_time:8.0f} tokens/s")
+    print(f"  batched         : {total / batch_time:8.0f} tokens/s "
+          f"({seq_time / batch_time:.1f}x)")
+
+
+if __name__ == "__main__":
+    main()

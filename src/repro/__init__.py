@@ -16,6 +16,9 @@ The package is organised as:
   cycle-level pipeline simulation, scheduling (computation reordering,
   fine-grained tiling and fusion), memory and power models, GPU and prior-art
   accelerator baselines.
+- :mod:`repro.serving` -- batched inference on top of the decode path: a
+  vectorized batch generator and a continuous-batching engine that admits and
+  retires requests against a fixed pool of batch slots.
 - :mod:`repro.eval` -- synthetic calibration / evaluation data, perplexity and
   zero-shot task harness, quantization-error metrics.
 - :mod:`repro.core` -- the co-design configuration, end-to-end pipeline and the

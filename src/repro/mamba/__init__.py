@@ -11,6 +11,13 @@ The implementation favours clarity and testability over raw speed: every layer
 is a plain dataclass over numpy arrays with an explicit ``forward``/``step``
 method, so quantization passes and the hardware simulator can introspect and
 rewrite parameters directly.
+
+Batch convention: every decode-path entry point accepts either the classic
+single-sequence shapes or the same shapes with one leading ``(batch, ...)``
+axis shared by all arguments (tokens, activations, and cache state alike).
+The batched forms advance all requests in lock-step and are numerically
+equivalent to running each request alone; :mod:`repro.serving` builds the
+batch generator and continuous-batching engine on top of them.
 """
 
 from repro.mamba.config import Mamba2Config, MODEL_PRESETS, get_preset
@@ -28,6 +35,7 @@ from repro.mamba.cache import LayerCache, InferenceCache
 from repro.mamba.block import MambaBlock
 from repro.mamba.model import Mamba2Model
 from repro.mamba.generation import greedy_decode, sample_decode, GenerationResult
+from repro.mamba.sampling import log_softmax, top_k_filter, greedy_select, sample_select
 from repro.mamba.init import InitConfig, OutlierProfile
 from repro.mamba.tokenizer import ByteTokenizer
 
@@ -53,6 +61,10 @@ __all__ = [
     "greedy_decode",
     "sample_decode",
     "GenerationResult",
+    "log_softmax",
+    "top_k_filter",
+    "greedy_select",
+    "sample_select",
     "InitConfig",
     "OutlierProfile",
     "ByteTokenizer",

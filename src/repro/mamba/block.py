@@ -127,12 +127,14 @@ class MambaBlock:
         cache: LayerCache,
         collect: Optional[Dict[str, np.ndarray]] = None,
     ) -> np.ndarray:
-        """Process one token of shape ``(d_model,)``, updating ``cache`` in place.
+        """Process one token per sequence, updating ``cache`` in place.
 
         Parameters
         ----------
         u:
-            Residual-stream input of shape ``(d_model,)``.
+            Residual-stream input of shape ``(d_model,)``, or
+            ``(batch, d_model)`` to advance a batch of sequences in lock-step
+            (``cache`` must then be batched with the same batch size).
         cache:
             The layer's recurrent state; its ``conv_state`` and ``ssm_state``
             are replaced with the post-step values.
@@ -142,8 +144,12 @@ class MambaBlock:
         """
         cfg = self.config
         u = np.asarray(u, dtype=np.float64)
-        if u.shape != (cfg.d_model,):
-            raise ValueError(f"expected input of shape ({cfg.d_model},), got {u.shape}")
+        if u.shape[-1:] != (cfg.d_model,) or u.ndim not in (1, 2):
+            raise ValueError(
+                f"expected input of shape ({cfg.d_model},) or (batch, {cfg.d_model}), "
+                f"got {u.shape}"
+            )
+        batched = u.ndim == 2
 
         residual = u
         r = self.norm(u)
@@ -152,17 +158,31 @@ class MambaBlock:
         if self.in_proj_bias is not None:
             zxbcdt = zxbcdt + self.in_proj_bias
         z, xbc, dt = self._split_in_proj(zxbcdt)
+        if batched:
+            # The splits are strided views of zxbcdt; the decode hot loop
+            # touches them many times, so contiguous copies pay for themselves.
+            z, xbc, dt = z.copy(), xbc.copy(), dt.copy()
 
         xbc_conv, new_conv_state = self.conv.step(xbc, cache.conv_state)
         cache.conv_state = new_conv_state
         x, b, c = self._split_xbc(xbc_conv)
-        x_heads = x.reshape(cfg.nheads, cfg.headdim)
+        x_heads = x.reshape(x.shape[:-1] + (cfg.nheads, cfg.headdim))
 
-        y_heads, new_ssm_state = self._ssm_step(
-            self.ssm, x_heads, b, c, dt, cache.ssm_state
-        )
+        if batched and self.ssm_impl is not None:
+            # Custom (e.g. quantized) step functions are single-sequence;
+            # advance each batch row independently.
+            y_heads = np.empty_like(x_heads)
+            new_ssm_state = np.empty_like(cache.ssm_state)
+            for i in range(u.shape[0]):
+                y_heads[i], new_ssm_state[i] = self.ssm_impl(
+                    self.ssm, x_heads[i], b[i], c[i], dt[i], cache.ssm_state[i]
+                )
+        else:
+            y_heads, new_ssm_state = self._ssm_step(
+                self.ssm, x_heads, b, c, dt, cache.ssm_state
+            )
         cache.ssm_state = new_ssm_state
-        y = y_heads.reshape(cfg.d_inner)
+        y = y_heads.reshape(u.shape[:-1] + (cfg.d_inner,))
 
         gated = self.gated_norm(y, z)
         gated_q = self.pre_out_proj(gated)
@@ -193,15 +213,21 @@ class MambaBlock:
     ) -> np.ndarray:
         """Process a full sequence of shape ``(seq_len, d_model)``.
 
+        A leading batch axis is also accepted -- ``(batch, seq_len, d_model)``
+        -- in which case ``cache`` (if given) must be batched with the same
+        batch size and every sequence is prefilled in parallel.
+
         If ``cache`` is provided it is updated to the state after the last
         token so that decoding can continue from the prompt.
         """
         cfg = self.config
         u = np.asarray(u, dtype=np.float64)
-        if u.ndim != 2 or u.shape[1] != cfg.d_model:
+        if u.ndim not in (2, 3) or u.shape[-1] != cfg.d_model:
             raise ValueError(
-                f"expected input of shape (seq_len, {cfg.d_model}), got {u.shape}"
+                f"expected input of shape (seq_len, {cfg.d_model}) or "
+                f"(batch, seq_len, {cfg.d_model}), got {u.shape}"
             )
+        batched = u.ndim == 3
         residual = u
         r = self.norm(u)
         r_q = self.pre_in_proj(r)
@@ -212,27 +238,36 @@ class MambaBlock:
 
         xbc_conv = self.conv.forward(xbc)
         x, b, c = self._split_xbc(xbc_conv)
-        seq_len = u.shape[0]
-        x_heads = x.reshape(seq_len, cfg.nheads, cfg.headdim)
+        seq_len = u.shape[-2]
+        x_heads = x.reshape(x.shape[:-1] + (cfg.nheads, cfg.headdim))
 
         if self.ssm_impl is None:
             initial = None if cache is None else cache.ssm_state
             y_heads, final_state = ssm_scan(self.ssm, x_heads, b, c, dt, initial)
         else:
-            # A custom (e.g. quantized) step function: run it sequentially.
+            # A custom (e.g. quantized) step function: run it sequentially
+            # (per batch row -- the ssm_impl signature is single-sequence).
+            lead = u.shape[:1] if batched else ()
             state = (
-                np.zeros((cfg.nheads, cfg.headdim, cfg.d_state))
+                np.zeros(lead + (cfg.nheads, cfg.headdim, cfg.d_state))
                 if cache is None
                 else cache.ssm_state.copy()
             )
             y_heads = np.zeros_like(x_heads)
-            for t in range(seq_len):
-                y_heads[t], state = self.ssm_impl(
-                    self.ssm, x_heads[t], b[t], c[t], dt[t], state
-                )
+            if batched:
+                for i in range(u.shape[0]):
+                    for t in range(seq_len):
+                        y_heads[i, t], state[i] = self.ssm_impl(
+                            self.ssm, x_heads[i, t], b[i, t], c[i, t], dt[i, t], state[i]
+                        )
+            else:
+                for t in range(seq_len):
+                    y_heads[t], state = self.ssm_impl(
+                        self.ssm, x_heads[t], b[t], c[t], dt[t], state
+                    )
             final_state = state
 
-        y = y_heads.reshape(seq_len, cfg.d_inner)
+        y = y_heads.reshape(u.shape[:-1] + (cfg.d_inner,))
         gated = self.gated_norm(y, z)
         gated_q = self.pre_out_proj(gated)
         out = gated_q @ self.out_proj_weight.T
@@ -243,9 +278,9 @@ class MambaBlock:
             cache.ssm_state = final_state
             # Rebuild the convolution window from the last d_conv inputs.
             k = cfg.d_conv
-            window = np.zeros((cfg.conv_dim, k))
-            tail = xbc[-k:] if seq_len >= k else xbc
-            window[:, k - tail.shape[0] :] = tail.T
+            window = np.zeros(u.shape[:-2] + (cfg.conv_dim, k))
+            tail = xbc[..., -min(k, seq_len) :, :]
+            window[..., k - tail.shape[-2] :] = np.swapaxes(tail, -1, -2)
             cache.conv_state = window
 
         if collect is not None:

@@ -3,13 +3,22 @@
 Unlike Transformers, Mamba stores a *fixed-size* recurrent state per layer: a
 convolution window and the SSM hidden state.  The paper exploits exactly this
 property (Sec. I, Fig. 9a) -- decode cost does not grow with the generated
-sequence length.
+sequence length, which is also what makes large-batch decode cheap: a batch of
+requests is just a leading ``(batch, ...)`` axis on the same fixed-size state.
+
+Both cache classes support an optional batch dimension.  ``zeros(config)``
+builds the single-sequence state used by the classic decode API;
+``zeros(config, batch_size=b)`` prepends a batch axis to every tensor.  The
+serving engine manages request lifetimes with :meth:`gather` (select / compact
+rows, e.g. to evict finished requests) and :meth:`scatter` (write rows back,
+e.g. to admit a freshly prefilled request into a running batch);
+:meth:`stack` / :meth:`row` convert between batched and per-request caches.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -25,25 +34,72 @@ class LayerCache:
     Attributes
     ----------
     conv_state:
-        Rolling convolution window, shape ``(conv_dim, d_conv)``.
+        Rolling convolution window, shape ``(conv_dim, d_conv)`` -- or
+        ``(batch, conv_dim, d_conv)`` for a batched cache.
     ssm_state:
-        SSM hidden state ``h``, shape ``(nheads, headdim, d_state)``.
+        SSM hidden state ``h``, shape ``(nheads, headdim, d_state)`` -- or
+        ``(batch, nheads, headdim, d_state)`` for a batched cache.
     """
 
     conv_state: np.ndarray
     ssm_state: np.ndarray
 
     @classmethod
-    def zeros(cls, config: Mamba2Config) -> "LayerCache":
+    def zeros(cls, config: Mamba2Config, batch_size: Optional[int] = None) -> "LayerCache":
+        lead = () if batch_size is None else (batch_size,)
         return cls(
-            conv_state=np.zeros((config.conv_dim, config.d_conv), dtype=np.float64),
+            conv_state=np.zeros(lead + (config.conv_dim, config.d_conv), dtype=np.float64),
             ssm_state=np.zeros(
-                (config.nheads, config.headdim, config.d_state), dtype=np.float64
+                lead + (config.nheads, config.headdim, config.d_state), dtype=np.float64
             ),
         )
 
+    @property
+    def batch_size(self) -> Optional[int]:
+        """Leading batch dimension, or ``None`` for a single-sequence cache."""
+        return self.conv_state.shape[0] if self.conv_state.ndim == 3 else None
+
     def copy(self) -> "LayerCache":
         return LayerCache(self.conv_state.copy(), self.ssm_state.copy())
+
+    def gather(self, indices) -> "LayerCache":
+        """Return a new batched cache holding rows ``indices`` (in order)."""
+        self._require_batched("gather")
+        indices = np.asarray(indices, dtype=np.int64)
+        return LayerCache(self.conv_state[indices].copy(), self.ssm_state[indices].copy())
+
+    def scatter(self, indices, src: "LayerCache") -> None:
+        """Write the rows of batched cache ``src`` into rows ``indices`` of self."""
+        self._require_batched("scatter")
+        indices = np.asarray(indices, dtype=np.int64)
+        if src.batch_size != indices.size:
+            raise ValueError(
+                f"scatter needs one src row per index: {indices.size} indices "
+                f"but src batch size is {src.batch_size}"
+            )
+        self.conv_state[indices] = src.conv_state
+        self.ssm_state[indices] = src.ssm_state
+
+    def row(self, index: int) -> "LayerCache":
+        """Extract one request's state as a single-sequence (unbatched) cache."""
+        self._require_batched("row")
+        return LayerCache(self.conv_state[index].copy(), self.ssm_state[index].copy())
+
+    @classmethod
+    def stack(cls, caches: Sequence["LayerCache"]) -> "LayerCache":
+        """Stack single-sequence caches into one batched cache."""
+        if not caches:
+            raise ValueError("cannot stack an empty sequence of caches")
+        if any(c.batch_size is not None for c in caches):
+            raise ValueError("stack expects single-sequence (unbatched) caches")
+        return cls(
+            conv_state=np.stack([c.conv_state for c in caches]),
+            ssm_state=np.stack([c.ssm_state for c in caches]),
+        )
+
+    def _require_batched(self, op: str) -> None:
+        if self.batch_size is None:
+            raise ValueError(f"{op} requires a batched cache (see LayerCache.zeros(batch_size=...))")
 
     def num_elements(self) -> int:
         """Total scalars held by this layer's recurrent state."""
@@ -57,8 +113,15 @@ class InferenceCache:
     layers: List[LayerCache]
 
     @classmethod
-    def zeros(cls, config: Mamba2Config) -> "InferenceCache":
-        return cls(layers=[LayerCache.zeros(config) for _ in range(config.n_layer)])
+    def zeros(cls, config: Mamba2Config, batch_size: Optional[int] = None) -> "InferenceCache":
+        return cls(
+            layers=[LayerCache.zeros(config, batch_size) for _ in range(config.n_layer)]
+        )
+
+    @property
+    def batch_size(self) -> Optional[int]:
+        """Leading batch dimension, or ``None`` for a single-sequence cache."""
+        return self.layers[0].batch_size if self.layers else None
 
     def __len__(self) -> int:
         return len(self.layers)
@@ -68,6 +131,35 @@ class InferenceCache:
 
     def copy(self) -> "InferenceCache":
         return InferenceCache(layers=[layer.copy() for layer in self.layers])
+
+    def gather(self, indices) -> "InferenceCache":
+        """Return a new batched cache holding rows ``indices`` of every layer."""
+        return InferenceCache(layers=[layer.gather(indices) for layer in self.layers])
+
+    def scatter(self, indices, src: "InferenceCache") -> None:
+        """Write the rows of batched cache ``src`` into rows ``indices`` of self."""
+        if len(src.layers) != len(self.layers):
+            raise ValueError("layer count mismatch between caches")
+        for layer, src_layer in zip(self.layers, src.layers):
+            layer.scatter(indices, src_layer)
+
+    def row(self, index: int) -> "InferenceCache":
+        """Extract one request's state as a single-sequence (unbatched) cache."""
+        return InferenceCache(layers=[layer.row(index) for layer in self.layers])
+
+    @classmethod
+    def stack(cls, caches: Sequence["InferenceCache"]) -> "InferenceCache":
+        """Stack single-sequence caches into one batched cache."""
+        if not caches:
+            raise ValueError("cannot stack an empty sequence of caches")
+        n_layer = len(caches[0].layers)
+        if any(len(c.layers) != n_layer for c in caches):
+            raise ValueError("all caches must have the same layer count")
+        return cls(
+            layers=[
+                LayerCache.stack([c.layers[i] for c in caches]) for i in range(n_layer)
+            ]
+        )
 
     def num_elements(self) -> int:
         """Total scalars held by the model's recurrent state."""

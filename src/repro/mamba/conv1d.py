@@ -58,23 +58,27 @@ class CausalConv1d:
         Parameters
         ----------
         x:
-            Array of shape ``(seq_len, channels)``.
+            Array of shape ``(seq_len, channels)`` or, batched,
+            ``(batch, seq_len, channels)``; each batch row is convolved
+            independently.
 
         Returns
         -------
-        Array of shape ``(seq_len, channels)``.
+        Array of the same shape as ``x``.
         """
         x = np.asarray(x, dtype=np.float64)
-        if x.ndim != 2 or x.shape[1] != self.channels:
+        if x.ndim not in (2, 3) or x.shape[-1] != self.channels:
             raise ValueError(
-                f"expected input of shape (seq_len, {self.channels}), got {x.shape}"
+                f"expected input of shape (seq_len, {self.channels}) or "
+                f"(batch, seq_len, {self.channels}), got {x.shape}"
             )
-        seq_len = x.shape[0]
+        seq_len = x.shape[-2]
         k = self.kernel_size
-        padded = np.concatenate([np.zeros((k - 1, self.channels)), x], axis=0)
+        pad = np.zeros(x.shape[:-2] + (k - 1, self.channels))
+        padded = np.concatenate([pad, x], axis=-2)
         out = np.zeros_like(x)
         for tap in range(k):
-            out += padded[tap : tap + seq_len] * self.weight[:, tap]
+            out += padded[..., tap : tap + seq_len, :] * self.weight[:, tap]
         out = out + self.bias
         if self.activation:
             out = silu(out)
@@ -86,38 +90,45 @@ class CausalConv1d:
         Parameters
         ----------
         x_t:
-            Current input of shape ``(channels,)``.
+            Current input of shape ``(channels,)`` or ``(batch, channels)``.
         conv_state:
             Rolling window of the most recent ``kernel_size`` inputs, shape
-            ``(channels, kernel_size)``; ``conv_state[:, -1]`` is the most
-            recent sample *before* this step.
+            ``(channels, kernel_size)`` (``(batch, channels, kernel_size)``
+            when batched); ``conv_state[..., -1]`` is the most recent sample
+            *before* this step.
 
         Returns
         -------
         (output, new_conv_state)
-            ``output`` has shape ``(channels,)`` and ``new_conv_state`` has the
-            same shape as ``conv_state``.
+            ``output`` has the shape of ``x_t`` and ``new_conv_state`` the
+            shape of ``conv_state``.
         """
         x_t = np.asarray(x_t, dtype=np.float64)
         conv_state = np.asarray(conv_state, dtype=np.float64)
-        if x_t.shape != (self.channels,):
-            raise ValueError(f"expected x_t of shape ({self.channels},), got {x_t.shape}")
-        if conv_state.shape != (self.channels, self.kernel_size):
+        if x_t.shape[-1:] != (self.channels,) or x_t.ndim not in (1, 2):
+            raise ValueError(
+                f"expected x_t of shape ({self.channels},) or (batch, {self.channels}), "
+                f"got {x_t.shape}"
+            )
+        if conv_state.shape != x_t.shape + (self.kernel_size,):
             raise ValueError(
                 "expected conv_state of shape "
-                f"({self.channels}, {self.kernel_size}), got {conv_state.shape}"
+                f"{x_t.shape + (self.kernel_size,)}, got {conv_state.shape}"
             )
         new_state = np.empty_like(conv_state)
-        new_state[:, :-1] = conv_state[:, 1:]
-        new_state[:, -1] = x_t
-        out = np.sum(new_state * self.weight, axis=1) + self.bias
+        new_state[..., :-1] = conv_state[..., 1:]
+        new_state[..., -1] = x_t
+        # Per-channel dot over the window in one fused contraction (the
+        # decode hot path; avoids a (..., channels, k) product temporary).
+        out = np.einsum("...ck,ck->...c", new_state, self.weight) + self.bias
         if self.activation:
             out = silu(out)
         return out, new_state
 
-    def initial_state(self) -> np.ndarray:
-        """Return an all-zero convolution state."""
-        return np.zeros((self.channels, self.kernel_size), dtype=np.float64)
+    def initial_state(self, batch_size: int | None = None) -> np.ndarray:
+        """Return an all-zero convolution state (batched when requested)."""
+        lead = () if batch_size is None else (batch_size,)
+        return np.zeros(lead + (self.channels, self.kernel_size), dtype=np.float64)
 
     def copy(self) -> "CausalConv1d":
         return CausalConv1d(

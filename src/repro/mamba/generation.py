@@ -3,6 +3,12 @@
 Decode uses the fixed-size :class:`~repro.mamba.cache.InferenceCache`, so the
 per-token cost is independent of how many tokens have been generated -- the
 property the LightMamba accelerator exploits (Fig. 9a of the paper).
+
+These are the *single-sequence* decoders.  Token selection is shared with the
+batched serving path (:mod:`repro.serving`) through
+:mod:`repro.mamba.sampling`, so batched decoding reproduces these results
+request for request (up to exact logit ties; batched BLAS kernels may round
+the last bits differently).
 """
 
 from __future__ import annotations
@@ -13,7 +19,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.mamba.model import Mamba2Model
-from repro.mamba.ops import softmax
+from repro.mamba.sampling import greedy_select, sample_select
 
 __all__ = ["GenerationResult", "greedy_decode", "sample_decode"]
 
@@ -79,10 +85,10 @@ def greedy_decode(
     tokens: List[int] = []
     logprobs: List[float] = []
     for _ in range(max_new_tokens):
-        probs = softmax(logits)
-        next_token = int(np.argmax(logits))
+        next_token, logprob = greedy_select(logits)
+        next_token = int(next_token)
         tokens.append(next_token)
-        logprobs.append(float(np.log(probs[next_token] + 1e-300)))
+        logprobs.append(float(logprob))
         if stop_token is not None and next_token == stop_token:
             break
         logits = model.step(next_token, cache)
@@ -98,7 +104,15 @@ def sample_decode(
     seed: int = 0,
     stop_token: Optional[int] = None,
 ) -> GenerationResult:
-    """Temperature / top-k sampling decode."""
+    """Temperature / top-k sampling decode.
+
+    Token selection goes through :mod:`repro.mamba.sampling`, so top-k keeps
+    exactly ``top_k`` candidates (ties at the k-th logit broken by token id)
+    and log-probabilities are computed with a log-softmax.  The batched
+    serving path uses the same primitives with one RNG stream per request;
+    sampling here with ``seed=s`` therefore matches a batched run in which
+    this request's stream is seeded with ``s``.
+    """
     prompt = _check_prompt(prompt, model.config.vocab_size)
     if temperature <= 0:
         raise ValueError("temperature must be positive; use greedy_decode for argmax")
@@ -109,14 +123,12 @@ def sample_decode(
     tokens: List[int] = []
     logprobs: List[float] = []
     for _ in range(max_new_tokens):
-        scaled = logits / temperature
-        if top_k is not None and top_k < scaled.shape[-1]:
-            kth = np.partition(scaled, -top_k)[-top_k]
-            scaled = np.where(scaled < kth, -np.inf, scaled)
-        probs = softmax(scaled)
-        next_token = int(rng.choice(len(probs), p=probs))
+        picked, logprob = sample_select(
+            logits[None, :], [rng], temperature=temperature, top_k=top_k
+        )
+        next_token = int(picked[0])
         tokens.append(next_token)
-        logprobs.append(float(np.log(probs[next_token] + 1e-300)))
+        logprobs.append(float(logprob[0]))
         if stop_token is not None and next_token == stop_token:
             break
         logits = model.step(next_token, cache)

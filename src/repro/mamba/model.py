@@ -154,23 +154,44 @@ class Mamba2Model:
     # Decode
     # ------------------------------------------------------------------
     def prefill(self, tokens: np.ndarray) -> tuple[np.ndarray, InferenceCache]:
-        """Summarise a prompt and return (last-token logits, cache)."""
+        """Summarise a prompt and return (last-token logits, cache).
+
+        ``tokens`` of shape ``(seq_len,)`` returns logits ``(vocab,)`` and a
+        single-sequence cache; a batch of equal-length prompts of shape
+        ``(batch, seq_len)`` returns logits ``(batch, vocab)`` and a batched
+        cache (leading ``(batch, ...)`` axis on every state tensor).
+        """
         tokens = np.asarray(tokens, dtype=np.int64)
-        cache = InferenceCache.zeros(self.config)
+        if tokens.ndim not in (1, 2):
+            raise ValueError("tokens must have shape (seq_len,) or (batch, seq_len)")
+        batch_size = tokens.shape[0] if tokens.ndim == 2 else None
+        cache = InferenceCache.zeros(self.config, batch_size=batch_size)
         hidden = self.embed(tokens)
         for i, block in enumerate(self.blocks):
             hidden = block.forward(hidden, cache=cache.layers[i])
-        logits = self.logits_from_hidden(hidden[-1])
+        logits = self.logits_from_hidden(hidden[..., -1, :])
         return logits, cache
 
     def step(
         self,
-        token: int,
+        token,
         cache: InferenceCache,
         collect: Optional[List[Dict[str, np.ndarray]]] = None,
     ) -> np.ndarray:
-        """Decode one token given the recurrent cache; returns next-token logits."""
-        hidden = self.embed(np.asarray([token], dtype=np.int64))[0]
+        """Decode one token per sequence given the recurrent cache.
+
+        ``token`` is a scalar token id for a single-sequence cache, or an
+        integer array of shape ``(batch,)`` advancing every request of a
+        batched cache by one token in lock-step.  Returns next-token logits of
+        shape ``(vocab,)`` (scalar input) or ``(batch, vocab)``.
+        """
+        token = np.asarray(token, dtype=np.int64)
+        if token.ndim == 0:
+            hidden = self.embed(token[None])[0]
+        elif token.ndim == 1:
+            hidden = self.embed(token)
+        else:
+            raise ValueError("token must be a scalar or a 1-d (batch,) array")
         for i, block in enumerate(self.blocks):
             block_collect: Optional[Dict[str, np.ndarray]] = None
             if collect is not None:

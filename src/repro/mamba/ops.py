@@ -10,6 +10,11 @@ from __future__ import annotations
 
 import numpy as np
 
+try:  # scipy's expit is a single C ufunc pass; fall back to pure numpy.
+    from scipy.special import expit as _expit
+except ImportError:  # pragma: no cover - scipy is present in the dev image
+    _expit = None
+
 __all__ = [
     "silu",
     "sigmoid",
@@ -21,14 +26,17 @@ __all__ = [
 
 
 def sigmoid(x: np.ndarray) -> np.ndarray:
-    """Numerically stable logistic sigmoid."""
+    """Numerically stable logistic sigmoid.
+
+    Computed from ``z = exp(-|x|)`` (never overflows) as ``1 / (1 + z)`` for
+    non-negative inputs and ``z / (1 + z)`` otherwise -- branch-free, which is
+    markedly faster than masked assignment on the decode hot path.
+    """
     x = np.asarray(x, dtype=np.float64)
-    out = np.empty_like(x)
-    pos = x >= 0
-    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
-    ex = np.exp(x[~pos])
-    out[~pos] = ex / (1.0 + ex)
-    return out
+    if _expit is not None:
+        return _expit(x)
+    z = np.exp(-np.abs(x))
+    return np.where(x >= 0, 1.0, z) / (1.0 + z)
 
 
 def silu(x: np.ndarray) -> np.ndarray:
@@ -64,7 +72,11 @@ def rms_normalize(x: np.ndarray, eps: float = 1e-5, axis: int = -1) -> np.ndarra
     following linear layer (Sec. IV-A of the paper).
     """
     x = np.asarray(x, dtype=np.float64)
-    ms = np.mean(np.square(x), axis=axis, keepdims=True)
+    if axis == -1:
+        # Fused sum-of-squares (no squared temporary) on the decode hot path.
+        ms = (np.einsum("...i,...i->...", x, x) / x.shape[-1])[..., None]
+    else:
+        ms = np.mean(np.square(x), axis=axis, keepdims=True)
     return x / np.sqrt(ms + eps)
 
 

@@ -99,20 +99,36 @@ def _validate_step_inputs(
     C: np.ndarray,
     dt: np.ndarray,
     state: np.ndarray,
-) -> None:
+) -> bool:
+    """Validate step inputs; returns ``True`` when they carry a batch dim.
+
+    Single-sequence shapes are ``x (nheads, headdim)``, ``B/C (d_state,)``,
+    ``dt (nheads,)``, ``state (nheads, headdim, d_state)``.  Batched inputs
+    prepend a shared leading ``batch`` axis to every argument.
+    """
     nheads = params.nheads
-    if x.ndim != 2 or x.shape[0] != nheads:
-        raise ValueError(f"x must have shape (nheads, headdim), got {x.shape}")
-    headdim = x.shape[1]
-    if B.ndim != 1 or C.ndim != 1 or B.shape != C.shape:
-        raise ValueError("B and C must be 1-d arrays of shape (d_state,)")
-    d_state = B.shape[0]
-    if dt.shape != (nheads,):
-        raise ValueError(f"dt must have shape ({nheads},), got {dt.shape}")
-    if state.shape != (nheads, headdim, d_state):
+    if x.ndim == 2:
+        batched = False
+    elif x.ndim == 3:
+        batched = True
+    else:
         raise ValueError(
-            f"state must have shape ({nheads}, {headdim}, {d_state}), got {state.shape}"
+            f"x must have shape (nheads, headdim) or (batch, nheads, headdim), got {x.shape}"
         )
+    lead = x.shape[:1] if batched else ()
+    if x.shape[-2] != nheads:
+        raise ValueError(f"x must have {nheads} heads, got shape {x.shape}")
+    headdim = x.shape[-1]
+    if B.shape != C.shape or B.ndim != 1 + batched or B.shape[:-1] != lead:
+        raise ValueError("B and C must both have shape (d_state,) (plus the batch axis)")
+    d_state = B.shape[-1]
+    if dt.shape != lead + (nheads,):
+        raise ValueError(f"dt must have shape {lead + (nheads,)}, got {dt.shape}")
+    if state.shape != lead + (nheads, headdim, d_state):
+        raise ValueError(
+            f"state must have shape {lead + (nheads, headdim, d_state)}, got {state.shape}"
+        )
+    return batched
 
 
 def ssm_step_trace(
@@ -151,7 +167,8 @@ def ssm_step_trace(
     C = np.asarray(C, dtype=np.float64)
     dt = np.asarray(dt, dtype=np.float64)
     state = np.asarray(state, dtype=np.float64)
-    _validate_step_inputs(params, x, B, C, dt, state)
+    if _validate_step_inputs(params, x, B, C, dt, state):
+        raise ValueError("ssm_step_trace is single-sequence only; use ssm_step for batches")
 
     delta = softplus(dt + params.dt_bias)              # (h,)
     delta_mul_A = delta * params.A                     # (h,)
@@ -186,8 +203,34 @@ def ssm_step(
     dt: np.ndarray,
     state: np.ndarray,
 ) -> Tuple[np.ndarray, np.ndarray]:
-    """Advance the SSM recurrence one token (without intermediates)."""
-    y, new_state, _ = ssm_step_trace(params, x, B, C, dt, state)
+    """Advance the SSM recurrence one token (without intermediates).
+
+    Unlike :func:`ssm_step_trace` this is a direct implementation that does
+    not materialise the per-operator intermediate dictionary (prefill calls
+    it once per token), and it accepts an optional leading batch axis:
+    ``x (batch, nheads, headdim)``, ``B/C (batch, d_state)``,
+    ``dt (batch, nheads)``, ``state (batch, nheads, headdim, d_state)``.
+    All batched requests advance in lock-step; single-sequence shapes (no
+    batch axis) are accepted unchanged.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    B = np.asarray(B, dtype=np.float64)
+    C = np.asarray(C, dtype=np.float64)
+    dt = np.asarray(dt, dtype=np.float64)
+    state = np.asarray(state, dtype=np.float64)
+    _validate_step_inputs(params, x, B, C, dt, state)
+
+    delta = softplus(dt + params.dt_bias)                        # (..., h)
+    A_bar = np.exp(delta * params.A)                             # (..., h)
+    dB = delta[..., :, None] * B[..., None, :]                   # (..., h, n)  B_bar
+    new_state = A_bar[..., :, None, None] * state                # (..., h, p, n)
+    new_state += dB[..., :, None, :] * x[..., :, :, None]
+    # Readout y = h_t . C as a (stacked) mat-vec over the state axis; the
+    # reshape is free because new_state is freshly allocated (contiguous).
+    nheads, headdim, d_state = new_state.shape[-3:]
+    flat = new_state.reshape(new_state.shape[:-3] + (nheads * headdim, d_state))
+    y = np.matmul(flat, C[..., None])[..., 0].reshape(x.shape)   # (..., h, p)
+    y += params.D[:, None] * x
     return y, new_state
 
 
@@ -208,35 +251,49 @@ def ssm_scan(
     Parameters
     ----------
     x:
-        Shape ``(seq_len, nheads, headdim)``.
+        Shape ``(seq_len, nheads, headdim)`` or ``(batch, seq_len, nheads,
+        headdim)``; with a batch axis every other argument carries the same
+        leading axis and the batch advances token-parallel.
     B, C:
-        Shape ``(seq_len, d_state)``.
+        Shape ``(seq_len, d_state)`` (``(batch, seq_len, d_state)`` batched).
     dt:
-        Shape ``(seq_len, nheads)``.
+        Shape ``(seq_len, nheads)`` (``(batch, seq_len, nheads)`` batched).
     initial_state:
         Optional starting hidden state; zeros if omitted.
 
     Returns
     -------
     (y, final_state)
-        ``y`` has shape ``(seq_len, nheads, headdim)``.
+        ``y`` has the same shape as ``x``; ``final_state`` is
+        ``(nheads, headdim, d_state)`` with a leading batch axis if batched.
     """
     x = np.asarray(x, dtype=np.float64)
     B = np.asarray(B, dtype=np.float64)
     C = np.asarray(C, dtype=np.float64)
     dt = np.asarray(dt, dtype=np.float64)
-    if x.ndim != 3:
-        raise ValueError("x must have shape (seq_len, nheads, headdim)")
-    seq_len, nheads, headdim = x.shape
+    if x.ndim not in (3, 4):
+        raise ValueError(
+            "x must have shape (seq_len, nheads, headdim) or (batch, seq_len, nheads, headdim)"
+        )
+    batched = x.ndim == 4
+    seq_len = x.shape[1] if batched else x.shape[0]
+    nheads, headdim = x.shape[-2:]
     d_state = B.shape[-1]
+    lead = x.shape[:1] if batched else ()
+    state_shape = lead + (nheads, headdim, d_state)
     if initial_state is None:
-        state = np.zeros((nheads, headdim, d_state), dtype=np.float64)
+        state = np.zeros(state_shape, dtype=np.float64)
     else:
         state = np.array(initial_state, dtype=np.float64, copy=True)
+        if state.shape != state_shape:
+            raise ValueError(f"initial_state must have shape {state_shape}, got {state.shape}")
 
     y = np.zeros_like(x)
     for t in range(seq_len):
-        y[t], state = ssm_step(params, x[t], B[t], C[t], dt[t], state)
+        if batched:
+            y[:, t], state = ssm_step(params, x[:, t], B[:, t], C[:, t], dt[:, t], state)
+        else:
+            y[t], state = ssm_step(params, x[t], B[t], C[t], dt[t], state)
     return y, state
 
 
@@ -302,21 +359,21 @@ def ssd_chunked_scan(
         dc = delta[start:stop]                          # (Q, h)
         lc = np.cumsum(log_decay[start:stop], axis=0)   # (Q, h) inclusive
 
-        # Dense decay-weighted interaction within the chunk (per head):
-        #   G[t, s] = exp(L_t - L_s) * (C_t . B_s) * delta_s   for s <= t.
+        # Dense decay-weighted interaction within the chunk, all heads at once:
+        #   G[t, s, head] = exp(L_t - L_s) * (C_t . B_s) * delta_s   for s <= t.
         cb = cc @ bc.T                                  # (Q, Q)
         q_len = stop - start
-        causal = np.tril(np.ones((q_len, q_len)))
-        for head in range(nheads):
-            decay = np.exp(lc[:, head][:, None] - lc[:, head][None, :])
-            gate = cb * decay * dc[None, :, head] * causal
-            y[start:stop, head] = gate @ xc[:, head, :]
-            # Contribution of the carried-in state.
-            y[start:stop, head] += np.exp(lc[:, head])[:, None] * (state[head] @ cc.T).T
-            # Chunk-final state update.
-            carry = np.exp(lc[-1, head] - lc[:, head]) * dc[:, head]   # (Q,)
-            state[head] = np.exp(lc[-1, head]) * state[head] + np.einsum(
-                "q,qp,qn->pn", carry, xc[:, head, :], bc
-            )
+        causal = np.tril(np.ones((q_len, q_len), dtype=bool))
+        diff = lc[:, None, :] - lc[None, :, :]          # (Q, Q, h)
+        diff = np.where(causal[:, :, None], diff, -np.inf)
+        gate = cb[:, :, None] * np.exp(diff) * dc[None, :, :]
+        y[start:stop] = np.einsum("tsh,shp->thp", gate, xc)
+        # Contribution of the carried-in state.
+        y[start:stop] += np.exp(lc)[:, :, None] * np.einsum("hpn,tn->thp", state, cc)
+        # Chunk-final state update.
+        carry = np.exp(lc[-1][None, :] - lc) * dc       # (Q, h)
+        state = np.exp(lc[-1])[:, None, None] * state + np.einsum(
+            "qh,qhp,qn->hpn", carry, xc, bc
+        )
         y[start:stop] += params.D[None, :, None] * xc
     return y, state

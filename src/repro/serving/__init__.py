@@ -1,0 +1,48 @@
+"""Batched serving on top of the Mamba2 decode path.
+
+Mamba decode has *constant* per-token state (the fixed-size recurrent cache,
+Fig. 9a of the LightMamba paper), which makes large-batch decode cheap: a
+batch of requests is a leading ``(batch, ...)`` axis on the same state
+tensors, and every decode step reads the weights once for the whole batch.
+This package provides the two serving front-ends built on that property:
+
+- :class:`~repro.serving.generator.BatchedGenerator` -- decode a *fixed* set
+  of requests together (vectorized greedy and temperature/top-k sampling,
+  ragged prompts, per-request stop tokens and length budgets).
+- :class:`~repro.serving.engine.InferenceEngine` -- *continuous batching* over
+  a request stream: queued requests are admitted into a fixed pool of batch
+  slots as earlier requests retire, so the batch stays full under load.
+
+Both reproduce the single-sequence decoders in
+:mod:`repro.mamba.generation` request for request: token selection shares the
+exact same arithmetic, and the model math is numerically equivalent to 1e-10
+(batched BLAS kernels may round differently in the last bits, so a token
+choice could in principle flip at an exact logit tie).
+
+Example
+-------
+>>> from repro.mamba import InitConfig, Mamba2Model, get_preset
+>>> from repro.serving import BatchedGenerator, InferenceEngine, Request
+>>> model = Mamba2Model.from_config(get_preset("mamba2-tiny"), InitConfig(seed=0))
+>>> gen = BatchedGenerator(model)
+>>> results = gen.generate([[1, 2, 3], [7, 8]], max_new_tokens=4)
+>>> [len(r.tokens) for r in results]
+[4, 4]
+>>> engine = InferenceEngine(model, max_batch_size=2)
+>>> _ = engine.submit(Request(prompt=(1, 2, 3), max_new_tokens=4))
+>>> _ = engine.submit(Request(prompt=(5, 6), max_new_tokens=2, temperature=0.8, top_k=16))
+>>> completions = engine.run()
+>>> [c.request_id for c in completions]
+[0, 1]
+"""
+
+from repro.serving.engine import Completion, EngineStats, InferenceEngine, Request
+from repro.serving.generator import BatchedGenerator
+
+__all__ = [
+    "BatchedGenerator",
+    "InferenceEngine",
+    "Request",
+    "Completion",
+    "EngineStats",
+]

@@ -1,0 +1,300 @@
+"""Continuous-batching inference engine.
+
+:class:`InferenceEngine` serves a *stream* of generation requests with a
+fixed-size pool of batch slots.  Each engine step (i) admits queued requests
+into free slots (prefilling their prompts and scattering the resulting
+recurrent state into the slot), (ii) advances every active slot by one decode
+token in a single batched model call, and (iii) retires requests that hit
+their stop token or length budget, freeing their slots for the next waiting
+request.  Because the Mamba recurrent cache is fixed-size, admission and
+eviction are plain ``gather`` / ``scatter`` row operations on the batched
+cache -- no paged KV allocator is needed.
+
+Request results are independent of scheduling: every request reproduces what
+:func:`~repro.mamba.generation.greedy_decode` (or ``sample_decode`` with the
+request's seed) would produce on its own, no matter which other requests it
+shared batches with.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.mamba.cache import InferenceCache
+from repro.mamba.generation import GenerationResult
+from repro.mamba.model import Mamba2Model
+from repro.mamba.sampling import greedy_select, sample_select
+
+__all__ = ["Request", "Completion", "EngineStats", "InferenceEngine"]
+
+
+@dataclass(frozen=True)
+class Request:
+    """One generation request submitted to the engine.
+
+    ``temperature is None`` selects greedy decoding; otherwise temperature /
+    top-k sampling with the request's own RNG stream (``seed``).
+    """
+
+    prompt: Tuple[int, ...]
+    max_new_tokens: int
+    temperature: Optional[float] = None
+    top_k: Optional[int] = None
+    stop_token: Optional[int] = None
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "prompt", tuple(int(t) for t in self.prompt))
+        if not self.prompt:
+            raise ValueError("prompt must be non-empty")
+        if self.max_new_tokens < 0:
+            raise ValueError("max_new_tokens must be non-negative")
+        if self.temperature is None:
+            if self.top_k is not None or self.seed is not None:
+                raise ValueError(
+                    "top_k / seed only apply to sampling; set a temperature "
+                    "(greedy decoding ignores them)"
+                )
+        elif self.temperature <= 0:
+            raise ValueError("temperature must be positive (or None for greedy)")
+        if self.top_k is not None and self.top_k <= 0:
+            raise ValueError("top_k must be positive when given")
+
+
+@dataclass(frozen=True)
+class Completion:
+    """A finished request: its id, the request, and the generation result."""
+
+    request_id: int
+    request: Request
+    result: GenerationResult
+
+
+@dataclass
+class EngineStats:
+    """Aggregate counters for throughput accounting."""
+
+    admitted: int = 0
+    completed: int = 0
+    engine_steps: int = 0
+    decode_calls: int = 0
+    decode_call_rows: int = 0
+    decoded_tokens: int = 0
+
+    @property
+    def tokens_per_decode_call(self) -> float:
+        """Average batch occupancy of the decode calls (the batching win).
+
+        Counts only rows actually advanced by batched decode calls; each
+        request's first token comes from its prefill logits and is excluded,
+        so this never exceeds the slot count.
+        """
+        return self.decode_call_rows / self.decode_calls if self.decode_calls else 0.0
+
+
+@dataclass
+class _Slot:
+    """Book-keeping for one active request occupying a batch slot."""
+
+    request_id: int
+    request: Request
+    rng: Optional[np.random.Generator]
+    tokens: List[int] = field(default_factory=list)
+    logprobs: List[float] = field(default_factory=list)
+
+
+class InferenceEngine:
+    """Continuous batching over a stream of requests.
+
+    Parameters
+    ----------
+    model:
+        The (possibly quantized) Mamba2 model.
+    max_batch_size:
+        Number of batch slots (maximum concurrently decoding requests).
+    seed:
+        Base seed for sampled requests that do not carry their own ``seed``
+        (request ``i`` then uses ``seed + i``).
+    """
+
+    def __init__(self, model: Mamba2Model, max_batch_size: int = 8, seed: int = 0):
+        if max_batch_size <= 0:
+            raise ValueError("max_batch_size must be positive")
+        self.model = model
+        self.max_batch_size = max_batch_size
+        self.seed = seed
+        self.stats = EngineStats()
+        self._queue: Deque[Tuple[int, Request]] = deque()
+        self._next_id = 0
+        self._slots: List[Optional[_Slot]] = [None] * max_batch_size
+        self._cache = InferenceCache.zeros(model.config, batch_size=max_batch_size)
+        self._pending_logits = np.zeros(
+            (max_batch_size, model.config.vocab_size), dtype=np.float64
+        )
+
+    # ------------------------------------------------------------------
+    # Request lifecycle
+    # ------------------------------------------------------------------
+    def submit(self, request: Request) -> int:
+        """Queue a request; returns its request id."""
+        vocab = self.model.config.vocab_size
+        if min(request.prompt) < 0 or max(request.prompt) >= vocab:
+            # Validate before allocating the id, so a rejected submit does not
+            # shift the default per-request sampling seeds (seed + request_id).
+            raise ValueError("prompt token id out of range")
+        request_id = self._next_id
+        self._next_id += 1
+        self._queue.append((request_id, request))
+        return request_id
+
+    @property
+    def num_waiting(self) -> int:
+        return len(self._queue)
+
+    @property
+    def num_active(self) -> int:
+        return sum(slot is not None for slot in self._slots)
+
+    @property
+    def has_work(self) -> bool:
+        return self.num_waiting > 0 or self.num_active > 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def step(self) -> List[Completion]:
+        """Run one engine iteration; returns requests retired this step.
+
+        Admits queued requests into free slots, advances all active slots by
+        one token with a single batched decode call, and retires finished
+        requests.
+        """
+        self.stats.engine_steps += 1
+        completions: List[Completion] = self._admit()
+        active = [i for i, slot in enumerate(self._slots) if slot is not None]
+        if not active:
+            return completions
+
+        chosen = np.zeros(len(active), dtype=np.int64)
+        survivors: List[int] = []
+        for row, slot_idx in enumerate(active):
+            slot = self._slots[slot_idx]
+            token, logprob = self._select(slot, self._pending_logits[slot_idx])
+            slot.tokens.append(token)
+            slot.logprobs.append(logprob)
+            chosen[row] = token
+            self.stats.decoded_tokens += 1
+            request = slot.request
+            done = (
+                request.stop_token is not None and token == request.stop_token
+            ) or len(slot.tokens) >= request.max_new_tokens
+            if done:
+                completions.append(self._retire(slot_idx))
+            else:
+                survivors.append(row)
+
+        if survivors:
+            slot_indices = [active[row] for row in survivors]
+            if len(slot_indices) == self.max_batch_size:
+                # Full batch: every slot survives, so step the slot cache in
+                # place and skip the per-token gather/scatter copies.
+                logits = self.model.step(chosen[survivors], self._cache)
+            else:
+                batch = self._cache.gather(slot_indices)
+                logits = self.model.step(chosen[survivors], batch)
+                self._cache.scatter(slot_indices, batch)
+            self.stats.decode_calls += 1
+            self.stats.decode_call_rows += len(slot_indices)
+            self._pending_logits[slot_indices] = logits
+        return completions
+
+    def run(self, requests: Optional[Sequence[Request]] = None) -> List[Completion]:
+        """Submit ``requests`` (if given) and step until the engine drains.
+
+        Returns all completions produced during the drain, ordered by request
+        id.
+        """
+        if requests is not None:
+            for request in requests:
+                self.submit(request)
+        completions: List[Completion] = []
+        while self.has_work:
+            completions.extend(self.step())
+        return sorted(completions, key=lambda c: c.request_id)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _admit(self) -> List[Completion]:
+        """Prefill queued requests into free slots (scatter admission).
+
+        Returns completions for degenerate (zero-budget) requests, which
+        never occupy a slot.
+        """
+        immediate: List[Completion] = []
+        for slot_idx in range(self.max_batch_size):
+            if self._slots[slot_idx] is not None:
+                continue
+            while self._queue and self._slots[slot_idx] is None:
+                request_id, request = self._queue.popleft()
+                self.stats.admitted += 1
+                if request.max_new_tokens == 0:
+                    # Degenerate request: completes immediately, never holds a slot.
+                    self.stats.completed += 1
+                    immediate.append(
+                        Completion(
+                            request_id=request_id,
+                            request=request,
+                            result=GenerationResult(
+                                prompt=list(request.prompt), tokens=[], logprobs=[]
+                            ),
+                        )
+                    )
+                    continue
+                logits, cache = self.model.prefill(
+                    np.asarray(request.prompt, dtype=np.int64)
+                )
+                self._cache.scatter([slot_idx], InferenceCache.stack([cache]))
+                self._pending_logits[slot_idx] = logits
+                rng = None
+                if request.temperature is not None:
+                    rng_seed = (
+                        request.seed if request.seed is not None else self.seed + request_id
+                    )
+                    rng = np.random.default_rng(rng_seed)
+                self._slots[slot_idx] = _Slot(
+                    request_id=request_id, request=request, rng=rng
+                )
+        return immediate
+
+    def _select(self, slot: _Slot, logits: np.ndarray) -> Tuple[int, float]:
+        """Choose the next token for one slot from its pending logits."""
+        request = slot.request
+        if request.temperature is None:
+            token, logprob = greedy_select(logits)
+            return int(token), float(logprob)
+        picked, logprob = sample_select(
+            logits[None, :],
+            [slot.rng],
+            temperature=request.temperature,
+            top_k=request.top_k,
+        )
+        return int(picked[0]), float(logprob[0])
+
+    def _retire(self, slot_idx: int) -> Completion:
+        slot = self._slots[slot_idx]
+        self._slots[slot_idx] = None
+        self.stats.completed += 1
+        return Completion(
+            request_id=slot.request_id,
+            request=slot.request,
+            result=GenerationResult(
+                prompt=list(slot.request.prompt),
+                tokens=slot.tokens,
+                logprobs=slot.logprobs,
+            ),
+        )

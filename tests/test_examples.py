@@ -40,6 +40,16 @@ def test_accelerator_design_space_runs(capsys):
     assert "Fig. 9b" in out
 
 
+def test_serving_demo_runs(capsys):
+    _run("serving_demo.py", [])
+    out = capsys.readouterr().out
+    assert "batched greedy generation" in out
+    assert "matches single-sequence decode" in out
+    assert "MISMATCH" not in out
+    assert "continuous batching" in out
+    assert "tokens per decode call" in out
+
+
 @pytest.mark.slow
 def test_quantization_study_fast_mode(capsys):
     _run("quantization_study.py", ["--fast"])

@@ -1,0 +1,274 @@
+"""Tests of the serving layer: sampling primitives, BatchedGenerator, engine."""
+
+import numpy as np
+import pytest
+
+from repro.mamba import greedy_decode, sample_decode
+from repro.mamba.sampling import greedy_select, log_softmax, sample_select, top_k_filter
+from repro.serving import BatchedGenerator, InferenceEngine, Request
+
+
+class TestSamplingPrimitives:
+    def test_log_softmax_matches_reference(self):
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=(3, 11)) * 5
+        lp = log_softmax(logits)
+        ref = np.log(np.exp(logits) / np.sum(np.exp(logits), axis=-1, keepdims=True))
+        np.testing.assert_allclose(lp, ref, atol=1e-12)
+        np.testing.assert_allclose(np.sum(np.exp(lp), axis=-1), 1.0, atol=1e-12)
+
+    def test_log_softmax_no_small_probability_bias(self):
+        """Extreme logits keep exact log-probabilities (no +eps bias)."""
+        logits = np.array([0.0, -800.0])
+        lp = log_softmax(logits)
+        assert lp[1] == pytest.approx(-800.0, abs=1e-9)
+
+    def test_top_k_keeps_exactly_k_with_ties(self):
+        """Ties at the k-th logit must not inflate the candidate set."""
+        logits = np.array([1.0, 3.0, 2.0, 2.0, 2.0, 0.5])
+        out = top_k_filter(logits, 3)
+        kept = np.where(np.isfinite(out))[0]
+        assert list(kept) == [1, 2, 3]  # best, then tied values by token id
+        np.testing.assert_allclose(out[kept], logits[kept], atol=0)
+
+    def test_top_k_all_equal(self):
+        out = top_k_filter(np.zeros(10), 4)
+        assert np.sum(np.isfinite(out)) == 4
+        assert list(np.where(np.isfinite(out))[0]) == [0, 1, 2, 3]
+
+    def test_top_k_batched_rows_independent(self):
+        rng = np.random.default_rng(1)
+        logits = rng.normal(size=(5, 16))
+        out = top_k_filter(logits, 3)
+        assert np.all(np.sum(np.isfinite(out), axis=-1) == 3)
+        for i in range(5):
+            np.testing.assert_allclose(out[i], top_k_filter(logits[i], 3), atol=0)
+
+    def test_top_k_ge_vocab_is_identity(self):
+        logits = np.arange(6.0)
+        np.testing.assert_allclose(top_k_filter(logits, 6), logits, atol=0)
+
+    def test_top_k_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            top_k_filter(np.zeros(4), 0)
+
+    def test_greedy_select_logprob_is_log_softmax(self):
+        rng = np.random.default_rng(2)
+        logits = rng.normal(size=(4, 9))
+        tokens, logprobs = greedy_select(logits)
+        np.testing.assert_array_equal(tokens, np.argmax(logits, axis=-1))
+        lp = log_softmax(logits)
+        np.testing.assert_allclose(
+            logprobs, lp[np.arange(4), tokens], atol=1e-12
+        )
+
+    def test_sample_select_respects_top_k(self):
+        rng = np.random.default_rng(3)
+        logits = rng.normal(size=(2, 32))
+        rngs = [np.random.default_rng(i) for i in range(2)]
+        allowed = np.argsort(-logits, axis=-1, kind="stable")[:, :4]
+        for _ in range(50):
+            tokens, logprobs = sample_select(logits, rngs, temperature=1.3, top_k=4)
+            for row in range(2):
+                assert tokens[row] in allowed[row]
+            assert np.all(np.isfinite(logprobs))
+
+    def test_sample_select_validation(self):
+        logits = np.zeros((2, 8))
+        rngs = [np.random.default_rng(0)]
+        with pytest.raises(ValueError):
+            sample_select(logits, rngs)  # rng count mismatch
+        with pytest.raises(ValueError):
+            sample_select(logits, rngs * 2, temperature=0.0)
+
+
+class TestBatchedGenerator:
+    def _prompts(self, model, sizes, seed=0):
+        rng = np.random.default_rng(seed)
+        return [rng.integers(0, model.config.vocab_size, size=s) for s in sizes]
+
+    def test_greedy_matches_single_sequence(self, tiny_model):
+        """Ragged prompts, stops and budgets must match per-request decode.
+
+        Prompt lengths (5, 9, 5, 7) include a repeated length, exercising the
+        grouped ragged prefill (one batched model call per length).
+        """
+        prompts = self._prompts(tiny_model, (5, 9, 5, 7))
+        budgets = [6, 3, 8, 5]
+        stops = [None, 2, 10, None]
+        gen = BatchedGenerator(tiny_model)
+        outs = gen.generate(prompts, budgets, stop_tokens=stops)
+        for prompt, budget, stop, out in zip(prompts, budgets, stops, outs):
+            ref = greedy_decode(tiny_model, prompt, budget, stop_token=stop)
+            assert out.tokens == ref.tokens
+            np.testing.assert_allclose(out.logprobs, ref.logprobs, atol=1e-10)
+            assert out.prompt == ref.prompt
+
+    def test_equal_length_prompts_use_batched_prefill(self, tiny_model):
+        prompts = self._prompts(tiny_model, (6, 6, 6))
+        gen = BatchedGenerator(tiny_model)
+        outs = gen.generate(prompts, 4)
+        for prompt, out in zip(prompts, outs):
+            ref = greedy_decode(tiny_model, prompt, 4)
+            assert out.tokens == ref.tokens
+            np.testing.assert_allclose(out.logprobs, ref.logprobs, atol=1e-10)
+
+    def test_ragged_stop_token_termination(self, tiny_model):
+        """A request stopping early must not perturb the others."""
+        prompts = self._prompts(tiny_model, (4, 4, 4), seed=3)
+        solo = [greedy_decode(tiny_model, p, 10) for p in prompts]
+        # Pick a stop token that fires early for request 1 only.
+        stop = solo[1].tokens[1]
+        stops = [None, stop, None]
+        outs = BatchedGenerator(tiny_model).generate(prompts, 10, stop_tokens=stops)
+        for prompt, s, out in zip(prompts, stops, outs):
+            ref = greedy_decode(tiny_model, prompt, 10, stop_token=s)
+            assert out.tokens == ref.tokens
+        assert outs[1].tokens[-1] == stop
+        assert len(outs[1]) < len(outs[0])
+
+    def test_sampling_matches_single_sequence_with_seeds(self, tiny_model):
+        prompts = self._prompts(tiny_model, (5, 8, 6), seed=4)
+        seeds = [101, 202, 303]
+        outs = BatchedGenerator(tiny_model).generate(
+            prompts, 7, temperature=0.8, top_k=16, seeds=seeds
+        )
+        for prompt, s, out in zip(prompts, seeds, outs):
+            ref = sample_decode(
+                tiny_model, prompt, 7, temperature=0.8, top_k=16, seed=s
+            )
+            assert out.tokens == ref.tokens
+            np.testing.assert_allclose(out.logprobs, ref.logprobs, atol=1e-10)
+
+    def test_zero_budget_and_empty_batch(self, tiny_model):
+        gen = BatchedGenerator(tiny_model)
+        assert gen.generate([], 5) == []
+        outs = gen.generate(self._prompts(tiny_model, (4, 4)), [0, 3])
+        assert outs[0].tokens == []
+        assert len(outs[1].tokens) == 3
+
+    def test_validation(self, tiny_model):
+        gen = BatchedGenerator(tiny_model)
+        with pytest.raises(ValueError):
+            gen.generate([[]], 3)
+        with pytest.raises(ValueError):
+            gen.generate([[1], [2]], [3])  # budget length mismatch
+        with pytest.raises(ValueError):
+            gen.generate([[1]], 3, temperature=0.0)
+        with pytest.raises(ValueError):
+            gen.generate([[1]], 3, temperature=1.0, seeds=[1, 2])
+        with pytest.raises(ValueError):
+            gen.generate([[1]], 3, top_k=4)  # sampling option without temperature
+        with pytest.raises(ValueError):
+            Request(prompt=(1,), max_new_tokens=1, seed=3)  # seed without temperature
+
+
+class TestInferenceEngine:
+    def _requests(self, model, seed=0):
+        rng = np.random.default_rng(seed)
+        sizes = (5, 9, 3, 7, 4, 6)
+        budgets = (6, 3, 8, 5, 7, 4)
+        return [
+            Request(
+                prompt=tuple(rng.integers(0, model.config.vocab_size, size=s)),
+                max_new_tokens=b,
+            )
+            for s, b in zip(sizes, budgets)
+        ]
+
+    def test_continuous_batching_matches_single_sequence(self, tiny_model):
+        """More requests than slots; all results must match solo decodes."""
+        requests = self._requests(tiny_model)
+        engine = InferenceEngine(tiny_model, max_batch_size=2)
+        completions = engine.run(requests)
+        assert [c.request_id for c in completions] == list(range(len(requests)))
+        for request, completion in zip(requests, completions):
+            ref = greedy_decode(
+                tiny_model, request.prompt, request.max_new_tokens
+            )
+            assert completion.result.tokens == ref.tokens
+            np.testing.assert_allclose(completion.result.logprobs, ref.logprobs, atol=1e-10)
+
+    def test_slot_reuse_and_stats(self, tiny_model):
+        requests = self._requests(tiny_model)
+        engine = InferenceEngine(tiny_model, max_batch_size=2)
+        engine.run(requests)
+        stats = engine.stats
+        assert stats.admitted == stats.completed == len(requests)
+        assert stats.decoded_tokens == sum(r.max_new_tokens for r in requests)
+        # Slots were shared: strictly fewer decode calls than decoded tokens
+        # (each call advances up to max_batch_size requests, and the final
+        # token of every request comes from already-pending logits).
+        assert stats.decode_calls < stats.decoded_tokens
+        assert stats.tokens_per_decode_call > 1.0
+
+    def test_mixed_greedy_and_sampled_requests(self, tiny_model):
+        rng = np.random.default_rng(5)
+        vocab = tiny_model.config.vocab_size
+        greedy_req = Request(prompt=tuple(rng.integers(0, vocab, size=5)), max_new_tokens=6)
+        sampled_req = Request(
+            prompt=tuple(rng.integers(0, vocab, size=7)),
+            max_new_tokens=4,
+            temperature=0.9,
+            top_k=8,
+            seed=42,
+        )
+        completions = InferenceEngine(tiny_model, max_batch_size=2).run(
+            [greedy_req, sampled_req]
+        )
+        ref_g = greedy_decode(tiny_model, greedy_req.prompt, 6)
+        ref_s = sample_decode(
+            tiny_model, sampled_req.prompt, 4, temperature=0.9, top_k=8, seed=42
+        )
+        assert completions[0].result.tokens == ref_g.tokens
+        assert completions[1].result.tokens == ref_s.tokens
+
+    def test_stop_token_retires_request(self, tiny_model):
+        rng = np.random.default_rng(6)
+        prompt = tuple(rng.integers(0, tiny_model.config.vocab_size, size=5))
+        free_run = greedy_decode(tiny_model, prompt, 10)
+        stop = free_run.tokens[2]
+        engine = InferenceEngine(tiny_model, max_batch_size=1)
+        completions = engine.run([Request(prompt=prompt, max_new_tokens=10, stop_token=stop)])
+        assert completions[0].result.tokens[-1] == stop
+        assert len(completions[0].result.tokens) <= len(free_run.tokens)
+
+    def test_incremental_submission(self, tiny_model):
+        """Requests submitted while the engine is running are picked up."""
+        rng = np.random.default_rng(7)
+        vocab = tiny_model.config.vocab_size
+        engine = InferenceEngine(tiny_model, max_batch_size=2)
+        first = Request(prompt=tuple(rng.integers(0, vocab, size=4)), max_new_tokens=6)
+        engine.submit(first)
+        done = engine.step()
+        assert done == [] and engine.num_active == 1
+        late = Request(prompt=tuple(rng.integers(0, vocab, size=5)), max_new_tokens=2)
+        engine.submit(late)
+        completions = []
+        while engine.has_work:
+            completions.extend(engine.step())
+        assert {c.request_id for c in completions} == {0, 1}
+        ref = greedy_decode(tiny_model, late.prompt, 2)
+        late_result = next(c for c in completions if c.request_id == 1)
+        assert late_result.result.tokens == ref.tokens
+
+    def test_zero_budget_request_completes_immediately(self, tiny_model):
+        engine = InferenceEngine(tiny_model, max_batch_size=1)
+        completions = engine.run([Request(prompt=(1, 2), max_new_tokens=0)])
+        assert completions[0].result.tokens == []
+
+    def test_validation(self, tiny_model):
+        with pytest.raises(ValueError):
+            InferenceEngine(tiny_model, max_batch_size=0)
+        with pytest.raises(ValueError):
+            Request(prompt=(), max_new_tokens=3)
+        with pytest.raises(ValueError):
+            Request(prompt=(1,), max_new_tokens=-1)
+        with pytest.raises(ValueError):
+            Request(prompt=(1,), max_new_tokens=1, temperature=-0.5)
+        engine = InferenceEngine(tiny_model)
+        with pytest.raises(ValueError):
+            engine.submit(Request(prompt=(10**9,), max_new_tokens=1))
+        # A rejected submit must not consume a request id (ids drive the
+        # default per-request sampling seeds).
+        assert engine.submit(Request(prompt=(1,), max_new_tokens=1)) == 0
