@@ -34,7 +34,7 @@ from repro.mamba.cache import LayerCache
 from repro.mamba.config import Mamba2Config
 from repro.mamba.conv1d import CausalConv1d
 from repro.mamba.rmsnorm import GatedRMSNorm, RMSNorm
-from repro.mamba.ssm import SSMParams, ssm_scan, ssm_step
+from repro.mamba.ssm import SSMParams, ssd_chunked_scan, ssm_scan, ssm_step
 
 __all__ = ["MambaBlock"]
 
@@ -168,9 +168,13 @@ class MambaBlock:
         x, b, c = self._split_xbc(xbc_conv)
         x_heads = x.reshape(x.shape[:-1] + (cfg.nheads, cfg.headdim))
 
-        if batched and self.ssm_impl is not None:
-            # Custom (e.g. quantized) step functions are single-sequence;
-            # advance each batch row independently.
+        if (
+            batched
+            and self.ssm_impl is not None
+            and not getattr(self.ssm_impl, "supports_batched", False)
+        ):
+            # Single-sequence custom step function: advance each batch row
+            # independently (batch-capable implementations take the fast path).
             y_heads = np.empty_like(x_heads)
             new_ssm_state = np.empty_like(cache.ssm_state)
             for i in range(u.shape[0]):
@@ -210,6 +214,10 @@ class MambaBlock:
         u: np.ndarray,
         cache: Optional[LayerCache] = None,
         collect: Optional[Dict[str, np.ndarray]] = None,
+        *,
+        scan_impl: Optional[str] = None,
+        chunk_size: Optional[int] = None,
+        seq_lens: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Process a full sequence of shape ``(seq_len, d_model)``.
 
@@ -218,7 +226,26 @@ class MambaBlock:
         batch size and every sequence is prefilled in parallel.
 
         If ``cache`` is provided it is updated to the state after the last
-        token so that decoding can continue from the prompt.
+        token so that decoding can continue from the prompt.  A *warm* cache
+        (non-zero state from an earlier segment) is continued exactly: its
+        convolution window supplies the left context of the new segment, so a
+        long prompt may be prefilled in pieces.
+
+        Parameters
+        ----------
+        scan_impl:
+            ``"chunked"`` (SSD chunked scan, the fast path) or
+            ``"sequential"`` (per-token reference recurrence); defaults to
+            ``config.scan_impl``.  Ignored when a custom ``ssm_impl`` is
+            installed (quantized models step token by token).
+        chunk_size:
+            Chunk length of the chunked scan; defaults to
+            ``config.chunk_size``.
+        seq_lens:
+            Optional per-row true lengths for a right-padded ragged batch
+            (batched input only).  The cache then receives each row's state at
+            its *true* last token; output positions past a row's length carry
+            garbage, which causality keeps out of every valid position.
         """
         cfg = self.config
         u = np.asarray(u, dtype=np.float64)
@@ -228,6 +255,20 @@ class MambaBlock:
                 f"(batch, seq_len, {cfg.d_model}), got {u.shape}"
             )
         batched = u.ndim == 3
+        seq_len = u.shape[-2]
+        impl = scan_impl if scan_impl is not None else cfg.scan_impl
+        if impl not in ("chunked", "sequential"):
+            raise ValueError("scan_impl must be 'chunked' or 'sequential'")
+        chunk = chunk_size if chunk_size is not None else cfg.chunk_size
+        if seq_lens is not None:
+            if not batched:
+                raise ValueError("seq_lens requires batched input")
+            seq_lens = np.asarray(seq_lens, dtype=np.int64)
+            if seq_lens.shape != u.shape[:1]:
+                raise ValueError(f"seq_lens must have shape {u.shape[:1]}, got {seq_lens.shape}")
+            if seq_lens.size and (seq_lens.min() < 1 or seq_lens.max() > seq_len):
+                raise ValueError(f"seq_lens entries must be in [1, {seq_len}]")
+
         residual = u
         r = self.norm(u)
         r_q = self.pre_in_proj(r)
@@ -236,17 +277,25 @@ class MambaBlock:
             zxbcdt = zxbcdt + self.in_proj_bias
         z, xbc, dt = self._split_in_proj(zxbcdt)
 
-        xbc_conv = self.conv.forward(xbc)
+        conv_initial = None if cache is None else cache.conv_state
+        xbc_conv = self.conv.forward(xbc, initial_state=conv_initial)
         x, b, c = self._split_xbc(xbc_conv)
-        seq_len = u.shape[-2]
         x_heads = x.reshape(x.shape[:-1] + (cfg.nheads, cfg.headdim))
 
         if self.ssm_impl is None:
             initial = None if cache is None else cache.ssm_state
-            y_heads, final_state = ssm_scan(self.ssm, x_heads, b, c, dt, initial)
+            if impl == "chunked":
+                y_heads, final_state = ssd_chunked_scan(
+                    self.ssm, x_heads, b, c, dt, initial, chunk_size=chunk, seq_lens=seq_lens
+                )
+            else:
+                y_heads, final_state = ssm_scan(
+                    self.ssm, x_heads, b, c, dt, initial, seq_lens=seq_lens
+                )
         else:
-            # A custom (e.g. quantized) step function: run it sequentially
-            # (per batch row -- the ssm_impl signature is single-sequence).
+            # A custom (e.g. quantized) step function: the recurrence steps
+            # token by token; a batch-capable implementation advances all rows
+            # in one call per token, otherwise fall back to per-row stepping.
             lead = u.shape[:1] if batched else ()
             state = (
                 np.zeros(lead + (cfg.nheads, cfg.headdim, cfg.d_state))
@@ -254,18 +303,36 @@ class MambaBlock:
                 else cache.ssm_state.copy()
             )
             y_heads = np.zeros_like(x_heads)
-            if batched:
-                for i in range(u.shape[0]):
+            if batched and getattr(self.ssm_impl, "supports_batched", False):
+                if seq_lens is None:
                     for t in range(seq_len):
+                        y_heads[:, t], state = self.ssm_impl(
+                            self.ssm, x_heads[:, t], b[:, t], c[:, t], dt[:, t], state
+                        )
+                    final_state = state
+                else:
+                    final_state = np.zeros_like(state)
+                    for t in range(seq_len):
+                        y_heads[:, t], state = self.ssm_impl(
+                            self.ssm, x_heads[:, t], b[:, t], c[:, t], dt[:, t], state
+                        )
+                        ending = seq_lens == t + 1
+                        if ending.any():
+                            final_state[ending] = state[ending]
+            elif batched:
+                for i in range(u.shape[0]):
+                    stop = seq_len if seq_lens is None else int(seq_lens[i])
+                    for t in range(stop):
                         y_heads[i, t], state[i] = self.ssm_impl(
                             self.ssm, x_heads[i, t], b[i, t], c[i, t], dt[i, t], state[i]
                         )
+                final_state = state
             else:
                 for t in range(seq_len):
                     y_heads[t], state = self.ssm_impl(
                         self.ssm, x_heads[t], b[t], c[t], dt[t], state
                     )
-            final_state = state
+                final_state = state
 
         y = y_heads.reshape(u.shape[:-1] + (cfg.d_inner,))
         gated = self.gated_norm(y, z)
@@ -276,12 +343,17 @@ class MambaBlock:
 
         if cache is not None:
             cache.ssm_state = final_state
-            # Rebuild the convolution window from the last d_conv inputs.
+            # Roll the convolution window forward: the last d_conv samples of
+            # previous-window + new inputs, taken at each row's true length.
             k = cfg.d_conv
-            window = np.zeros(u.shape[:-2] + (cfg.conv_dim, k))
-            tail = xbc[..., -min(k, seq_len) :, :]
-            window[..., k - tail.shape[-2] :] = np.swapaxes(tail, -1, -2)
-            cache.conv_state = window
+            prev = np.swapaxes(cache.conv_state, -1, -2)       # (..., k, conv_dim)
+            combined = np.concatenate([prev, xbc], axis=-2)    # (..., k + T, conv_dim)
+            if seq_lens is None:
+                window = combined[..., -k:, :]
+            else:
+                rows = np.arange(u.shape[0])[:, None]
+                window = combined[rows, seq_lens[:, None] + np.arange(k)[None, :]]
+            cache.conv_state = np.ascontiguousarray(np.swapaxes(window, -1, -2))
 
         if collect is not None:
             collect["in_proj_input"] = r

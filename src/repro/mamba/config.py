@@ -43,6 +43,15 @@ class Mamba2Config:
         Epsilon of the RMSNorm layers.
     tie_embeddings:
         Whether the LM head shares the embedding matrix.
+    scan_impl:
+        Default prefill scan engine: ``"chunked"`` (the SSD chunked scan,
+        matrix-matrix parallel within a chunk -- the production fast path) or
+        ``"sequential"`` (the per-token reference recurrence, kept as the
+        numerical oracle / escape hatch).  Forward/prefill calls may override
+        it per call.
+    chunk_size:
+        Tokens per chunk of the chunked scan (clamped to the sequence
+        length at run time).
     """
 
     name: str = "custom"
@@ -56,6 +65,8 @@ class Mamba2Config:
     ngroups: int = 1
     norm_eps: float = 1e-5
     tie_embeddings: bool = True
+    scan_impl: str = "chunked"
+    chunk_size: int = 64
 
     def __post_init__(self) -> None:
         if self.d_model <= 0 or self.n_layer <= 0 or self.vocab_size <= 0:
@@ -64,6 +75,10 @@ class Mamba2Config:
             raise ValueError("expand, headdim and d_state must be positive")
         if self.d_conv < 1:
             raise ValueError("d_conv must be at least 1")
+        if self.scan_impl not in ("chunked", "sequential"):
+            raise ValueError("scan_impl must be 'chunked' or 'sequential'")
+        if self.chunk_size < 1:
+            raise ValueError("chunk_size must be at least 1")
         if (self.expand * self.d_model) % self.headdim != 0:
             raise ValueError(
                 f"d_inner ({self.expand * self.d_model}) must be divisible by "

@@ -52,7 +52,7 @@ class CausalConv1d:
     def kernel_size(self) -> int:
         return self.weight.shape[1]
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
+    def forward(self, x: np.ndarray, initial_state: np.ndarray | None = None) -> np.ndarray:
         """Apply the causal convolution to a full sequence.
 
         Parameters
@@ -61,6 +61,12 @@ class CausalConv1d:
             Array of shape ``(seq_len, channels)`` or, batched,
             ``(batch, seq_len, channels)``; each batch row is convolved
             independently.
+        initial_state:
+            Optional rolling window of the inputs *before* this sequence, in
+            the :meth:`step` layout ``(..., channels, kernel_size)`` with the
+            most recent sample last.  When given, its trailing samples replace
+            the zero left-padding so a sequence can be processed in segments
+            with exact continuation; an all-zero state reproduces the default.
 
         Returns
         -------
@@ -74,12 +80,23 @@ class CausalConv1d:
             )
         seq_len = x.shape[-2]
         k = self.kernel_size
-        pad = np.zeros(x.shape[:-2] + (k - 1, self.channels))
+        if initial_state is None:
+            pad = np.zeros(x.shape[:-2] + (k - 1, self.channels))
+        else:
+            initial_state = np.asarray(initial_state, dtype=np.float64)
+            if initial_state.shape != x.shape[:-2] + (self.channels, k):
+                raise ValueError(
+                    "expected initial_state of shape "
+                    f"{x.shape[:-2] + (self.channels, k)}, got {initial_state.shape}"
+                )
+            # The window's last k-1 samples are the left context of token 0.
+            pad = np.swapaxes(initial_state[..., 1:], -1, -2)
         padded = np.concatenate([pad, x], axis=-2)
-        out = np.zeros_like(x)
-        for tap in range(k):
-            out += padded[..., tap : tap + seq_len, :] * self.weight[:, tap]
-        out = out + self.bias
+        # Sliding window over time + per-channel dot over the kernel taps in a
+        # single contraction (one pass, no per-tap (seq_len, channels)
+        # temporaries -- this is on the prefill hot path).
+        windows = np.lib.stride_tricks.sliding_window_view(padded, k, axis=-2)
+        out = np.einsum("...tck,ck->...tc", windows, self.weight) + self.bias
         if self.activation:
             out = silu(out)
         return out

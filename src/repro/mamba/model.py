@@ -121,6 +121,9 @@ class Mamba2Model:
         self,
         tokens: np.ndarray,
         collect: Optional[List[Dict[str, np.ndarray]]] = None,
+        *,
+        scan_impl: Optional[str] = None,
+        chunk_size: Optional[int] = None,
     ) -> np.ndarray:
         """Evaluate the model on a token sequence.
 
@@ -131,6 +134,10 @@ class Mamba2Model:
         collect:
             Optional list; if provided it receives one dictionary of captured
             activations per block.
+        scan_impl, chunk_size:
+            Optional per-call override of the prefill scan engine (defaults
+            to ``config.scan_impl`` / ``config.chunk_size``; see
+            :meth:`MambaBlock.forward <repro.mamba.block.MambaBlock.forward>`).
 
         Returns
         -------
@@ -145,7 +152,9 @@ class Mamba2Model:
             if collect is not None:
                 block_collect = {}
                 collect.append(block_collect)
-            hidden = block.forward(hidden, collect=block_collect)
+            hidden = block.forward(
+                hidden, collect=block_collect, scan_impl=scan_impl, chunk_size=chunk_size
+            )
         return self.logits_from_hidden(hidden)
 
     __call__ = forward
@@ -153,23 +162,67 @@ class Mamba2Model:
     # ------------------------------------------------------------------
     # Decode
     # ------------------------------------------------------------------
-    def prefill(self, tokens: np.ndarray) -> tuple[np.ndarray, InferenceCache]:
+    def prefill(
+        self,
+        tokens: np.ndarray,
+        *,
+        seq_lens: Optional[np.ndarray] = None,
+        cache: Optional[InferenceCache] = None,
+        scan_impl: Optional[str] = None,
+        chunk_size: Optional[int] = None,
+    ) -> tuple[np.ndarray, InferenceCache]:
         """Summarise a prompt and return (last-token logits, cache).
 
         ``tokens`` of shape ``(seq_len,)`` returns logits ``(vocab,)`` and a
         single-sequence cache; a batch of equal-length prompts of shape
         ``(batch, seq_len)`` returns logits ``(batch, vocab)`` and a batched
         cache (leading ``(batch, ...)`` axis on every state tensor).
+
+        Parameters
+        ----------
+        seq_lens:
+            Optional ``(batch,)`` true prompt lengths for a right-padded
+            ragged batch: every row is prefilled in the same padded model
+            call, its logits are read at its *true* last token and its cache
+            state is the state after that token (pad positions never leak --
+            the model is causal).  Pad token ids just need to be valid.
+        cache:
+            Optional warm cache to continue from (e.g. the next segment of a
+            long prompt processed in chunks); a fresh zero cache is created
+            when omitted.  Must match the batch shape of ``tokens``.
+        scan_impl, chunk_size:
+            Optional per-call override of the prefill scan engine (defaults
+            to ``config.scan_impl`` / ``config.chunk_size``).
         """
         tokens = np.asarray(tokens, dtype=np.int64)
         if tokens.ndim not in (1, 2):
             raise ValueError("tokens must have shape (seq_len,) or (batch, seq_len)")
         batch_size = tokens.shape[0] if tokens.ndim == 2 else None
-        cache = InferenceCache.zeros(self.config, batch_size=batch_size)
+        if cache is None:
+            cache = InferenceCache.zeros(self.config, batch_size=batch_size)
+        elif cache.batch_size != batch_size:
+            raise ValueError(
+                f"cache batch size {cache.batch_size} does not match tokens batch "
+                f"size {batch_size}"
+            )
+        if seq_lens is not None:
+            if tokens.ndim != 2:
+                raise ValueError("seq_lens requires batched (batch, seq_len) tokens")
+            seq_lens = np.asarray(seq_lens, dtype=np.int64)
         hidden = self.embed(tokens)
         for i, block in enumerate(self.blocks):
-            hidden = block.forward(hidden, cache=cache.layers[i])
-        logits = self.logits_from_hidden(hidden[..., -1, :])
+            hidden = block.forward(
+                hidden,
+                cache=cache.layers[i],
+                scan_impl=scan_impl,
+                chunk_size=chunk_size,
+                seq_lens=seq_lens,
+            )
+        if seq_lens is None:
+            last = hidden[..., -1, :]
+        else:
+            last = hidden[np.arange(tokens.shape[0]), seq_lens - 1, :]
+        logits = self.logits_from_hidden(last)
         return logits, cache
 
     def step(

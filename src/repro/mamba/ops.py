@@ -42,7 +42,11 @@ def sigmoid(x: np.ndarray) -> np.ndarray:
 def silu(x: np.ndarray) -> np.ndarray:
     """SiLU (swish) activation: ``x * sigmoid(x)``."""
     x = np.asarray(x, dtype=np.float64)
-    return x * sigmoid(x)
+    out = sigmoid(x)
+    if out.ndim:
+        np.multiply(x, out, out=out)  # reuse the sigmoid buffer (hot path)
+        return out
+    return x * out
 
 
 def softplus(x: np.ndarray) -> np.ndarray:

@@ -238,6 +238,18 @@ def ssm_step(
 selective_state_update = ssm_step
 
 
+def _validate_seq_lens(seq_lens, batched: bool, batch: int, seq_len: int) -> np.ndarray:
+    """Validate per-row true lengths for a padded (ragged) batched scan."""
+    if not batched:
+        raise ValueError("seq_lens requires a batched input (leading batch axis)")
+    seq_lens = np.asarray(seq_lens, dtype=np.int64)
+    if seq_lens.shape != (batch,):
+        raise ValueError(f"seq_lens must have shape ({batch},), got {seq_lens.shape}")
+    if seq_lens.size and (seq_lens.min() < 1 or seq_lens.max() > seq_len):
+        raise ValueError(f"seq_lens entries must be in [1, {seq_len}]")
+    return seq_lens
+
+
 def ssm_scan(
     params: SSMParams,
     x: np.ndarray,
@@ -245,6 +257,7 @@ def ssm_scan(
     C: np.ndarray,
     dt: np.ndarray,
     initial_state: np.ndarray | None = None,
+    seq_lens: np.ndarray | None = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Run the SSM recurrence over a full sequence (prefill).
 
@@ -260,6 +273,13 @@ def ssm_scan(
         Shape ``(seq_len, nheads)`` (``(batch, seq_len, nheads)`` batched).
     initial_state:
         Optional starting hidden state; zeros if omitted.
+    seq_lens:
+        Optional per-row true prompt lengths, shape ``(batch,)`` (batched
+        input only).  Positions at or beyond a row's length are treated as
+        right padding: the returned ``final_state`` row is the state after
+        the row's *true* last token, so ragged prompts can share one padded
+        scan.  ``y`` is still computed at every position (pad positions carry
+        garbage, which is harmless downstream because the model is causal).
 
     Returns
     -------
@@ -287,13 +307,22 @@ def ssm_scan(
         state = np.array(initial_state, dtype=np.float64, copy=True)
         if state.shape != state_shape:
             raise ValueError(f"initial_state must have shape {state_shape}, got {state.shape}")
+    if seq_lens is not None:
+        seq_lens = _validate_seq_lens(seq_lens, batched, x.shape[0], seq_len)
+        final = np.zeros_like(state)
 
     y = np.zeros_like(x)
     for t in range(seq_len):
         if batched:
             y[:, t], state = ssm_step(params, x[:, t], B[:, t], C[:, t], dt[:, t], state)
+            if seq_lens is not None:
+                ending = seq_lens == t + 1
+                if ending.any():
+                    final[ending] = state[ending]
         else:
             y[t], state = ssm_step(params, x[t], B[t], C[t], dt[t], state)
+    if seq_lens is not None:
+        return y, final
     return y, state
 
 
@@ -305,6 +334,7 @@ def ssd_chunked_scan(
     dt: np.ndarray,
     initial_state: np.ndarray | None = None,
     chunk_size: int = 64,
+    seq_lens: np.ndarray | None = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Chunked SSD formulation of the prefill scan (Dao & Gu, 2024).
 
@@ -312,22 +342,33 @@ def ssd_chunked_scan(
     chunk by chunk: within a chunk the output is computed from a dense
     decay-weighted ``C B^T`` interaction matrix (the "quadratic" SSD form),
     and only one recurrent state hand-off happens per chunk.  This is the
-    formulation a prefill engine would use to exploit matrix-matrix
-    parallelism; the tests verify it matches the sequential recurrence to
-    numerical precision.
+    production prefill engine (matrix-matrix parallelism within a chunk, as
+    on the accelerator datapath); the tests verify it matches the sequential
+    recurrence to numerical precision.
 
     Parameters
     ----------
     x:
-        Shape ``(seq_len, nheads, headdim)``.
+        Shape ``(seq_len, nheads, headdim)`` or, batched,
+        ``(batch, seq_len, nheads, headdim)``; with a batch axis every other
+        argument carries the same leading axis.
     B, C:
-        Shape ``(seq_len, d_state)``.
+        Shape ``(seq_len, d_state)`` (``(batch, seq_len, d_state)`` batched).
     dt:
-        Shape ``(seq_len, nheads)`` (raw, before softplus).
+        Shape ``(seq_len, nheads)`` (raw, before softplus;
+        ``(batch, seq_len, nheads)`` batched).
     initial_state:
-        Optional ``(nheads, headdim, d_state)`` starting state.
+        Optional ``(nheads, headdim, d_state)`` starting state (leading batch
+        axis when batched).
     chunk_size:
-        Tokens per chunk.
+        Tokens per chunk; clamped to the sequence length, so an oversized
+        chunk costs exactly one dense chunk and ``chunk_size == 1`` degrades
+        gracefully to the sequential recurrence cost.
+    seq_lens:
+        Optional per-row true prompt lengths, shape ``(batch,)`` (batched
+        input only).  See :func:`ssm_scan`: the returned state rows are
+        snapshots at each row's true length, enabling one padded scan over
+        ragged prompts.
     """
     if chunk_size <= 0:
         raise ValueError("chunk_size must be positive")
@@ -335,45 +376,84 @@ def ssd_chunked_scan(
     B = np.asarray(B, dtype=np.float64)
     C = np.asarray(C, dtype=np.float64)
     dt = np.asarray(dt, dtype=np.float64)
-    if x.ndim != 3:
-        raise ValueError("x must have shape (seq_len, nheads, headdim)")
-    seq_len, nheads, headdim = x.shape
+    if x.ndim not in (3, 4):
+        raise ValueError(
+            "x must have shape (seq_len, nheads, headdim) or (batch, seq_len, nheads, headdim)"
+        )
+    batched = x.ndim == 4
+    seq_len, nheads, headdim = x.shape[-3:]
     d_state = B.shape[-1]
     if nheads != params.nheads:
         raise ValueError("head count mismatch between x and params")
+    lead = x.shape[:1] if batched else ()
+    state_shape = lead + (nheads, headdim, d_state)
 
-    delta = softplus(dt + params.dt_bias)               # (T, h)
-    log_decay = delta * params.A                        # (T, h), negative
-    state = (
-        np.zeros((nheads, headdim, d_state), dtype=np.float64)
-        if initial_state is None
-        else np.array(initial_state, dtype=np.float64, copy=True)
-    )
+    delta = softplus(dt + params.dt_bias)               # (..., T, h)
+    log_decay = delta * params.A                        # (..., T, h), negative
+    if initial_state is None:
+        state = np.zeros(state_shape, dtype=np.float64)
+    else:
+        state = np.array(initial_state, dtype=np.float64, copy=True)
+        if state.shape != state_shape:
+            raise ValueError(f"initial_state must have shape {state_shape}, got {state.shape}")
+    if seq_lens is not None:
+        seq_lens = _validate_seq_lens(seq_lens, batched, x.shape[0], seq_len)
+        snapshot = np.zeros_like(state)
     y = np.zeros_like(x)
 
-    for start in range(0, seq_len, chunk_size):
-        stop = min(start + chunk_size, seq_len)
-        xc = x[start:stop]                              # (Q, h, p)
-        bc = B[start:stop]                              # (Q, n)
-        cc = C[start:stop]                              # (Q, n)
-        dc = delta[start:stop]                          # (Q, h)
-        lc = np.cumsum(log_decay[start:stop], axis=0)   # (Q, h) inclusive
+    chunk = min(chunk_size, seq_len)
+    # One causal mask shared by every full chunk (the ragged tail slices it).
+    causal_full = np.tril(np.ones((chunk, chunk), dtype=np.float64))
+    for start in range(0, seq_len, chunk):
+        stop = min(start + chunk, seq_len)
+        q_len = stop - start
+        xc = x[..., start:stop, :, :]                   # (..., Q, h, p)
+        bc = B[..., start:stop, :]                      # (..., Q, n)
+        cc = C[..., start:stop, :]                      # (..., Q, n)
+        dc = delta[..., start:stop, :]                  # (..., Q, h)
+        lc = np.cumsum(log_decay[..., start:stop, :], axis=-2)  # (..., Q, h) inclusive
 
         # Dense decay-weighted interaction within the chunk, all heads at once:
         #   G[t, s, head] = exp(L_t - L_s) * (C_t . B_s) * delta_s   for s <= t.
-        cb = cc @ bc.T                                  # (Q, Q)
-        q_len = stop - start
-        causal = np.tril(np.ones((q_len, q_len), dtype=bool))
-        diff = lc[:, None, :] - lc[None, :, :]          # (Q, Q, h)
-        diff = np.where(causal[:, :, None], diff, -np.inf)
-        gate = cb[:, :, None] * np.exp(diff) * dc[None, :, :]
-        y[start:stop] = np.einsum("tsh,shp->thp", gate, xc)
-        # Contribution of the carried-in state.
-        y[start:stop] += np.exp(lc)[:, :, None] * np.einsum("hpn,tn->thp", state, cc)
-        # Chunk-final state update.
-        carry = np.exp(lc[-1][None, :] - lc) * dc       # (Q, h)
-        state = np.exp(lc[-1])[:, None, None] * state + np.einsum(
-            "qh,qhp,qn->hpn", carry, xc, bc
-        )
-        y[start:stop] += params.D[None, :, None] * xc
+        # Contractions are phrased as stacked matmuls (not einsum) so they run
+        # on the BLAS kernels -- this is where the prefill throughput lives.
+        cb = cc @ np.swapaxes(bc, -1, -2)               # (..., Q, Q)
+        causal = causal_full if q_len == chunk else causal_full[:q_len, :q_len]
+        diff = lc[..., :, None, :] - lc[..., None, :, :]  # (..., Q, Q, h)
+        # L is strictly decreasing, so causal entries (s <= t) have diff <= 0;
+        # clamping at 0 leaves them untouched while keeping the exp finite on
+        # the upper triangle, which the causal mask then zeroes -- no (Q, Q, h)
+        # -inf fill and no masked-lane exp overflow.
+        decay = np.exp(np.minimum(diff, 0.0)) * causal[..., :, :, None]
+        gate = cb[..., :, :, None] * decay * dc[..., None, :, :]
+        # yc[t, h, p] = sum_s gate[t, s, h] * xc[s, h, p], as a per-head matmul.
+        yc = np.moveaxis(
+            np.moveaxis(gate, -1, -3) @ np.moveaxis(xc, -2, -3), -3, -2
+        )                                               # (..., Q, h, p)
+        # Contribution of the carried-in state: h_in . C per head.
+        readout = state @ np.swapaxes(cc, -1, -2)[..., None, :, :]  # (..., h, p, Q)
+        yc += np.exp(lc)[..., None] * np.moveaxis(readout, -1, -3)
+        yc += params.D[:, None] * xc
+        y[..., start:stop, :, :] = yc
+
+        if seq_lens is not None:
+            # Snapshot rows whose true last token falls inside this chunk:
+            # the state after local position j is the chunk-carry formula
+            # truncated at j (computed from the chunk-entry state).
+            for row in np.nonzero((seq_lens > start) & (seq_lens <= stop))[0]:
+                j = int(seq_lens[row]) - 1 - start
+                carry_j = np.exp(lc[row, j][None, :] - lc[row, : j + 1]) * dc[row, : j + 1]
+                wx_j = np.moveaxis(carry_j[:, :, None] * xc[row, : j + 1], 0, -1)
+                snapshot[row] = (
+                    np.exp(lc[row, j])[:, None, None] * state[row]
+                    + wx_j @ bc[row, : j + 1][None, :, :]
+                )
+        # Chunk-final state hand-off:
+        #   h_out = exp(L_last) h_in + sum_q carry[q] x_q B_q^T  (per head).
+        last = lc[..., -1, :]                           # (..., h)
+        carry = np.exp(last[..., None, :] - lc) * dc    # (..., Q, h)
+        wx = np.moveaxis(carry[..., :, :, None] * xc, -3, -1)       # (..., h, p, Q)
+        state = np.exp(last)[..., :, None, None] * state + wx @ bc[..., None, :, :]
+    if seq_lens is not None:
+        return y, snapshot
     return y, state

@@ -85,10 +85,13 @@ class QuantizedLinear:
     __call__ = forward
 
     def forward_integer(self, x: np.ndarray) -> np.ndarray:
-        """Integer-exact forward with per-group INT32 accumulation.
+        """Integer-exact forward on the raw codes.
 
-        Operates on the integer codes directly; the result equals
-        :meth:`forward` up to floating-point associativity.
+        Per-group configurations accumulate each group's partial sums in a
+        true INT32 accumulator (see :meth:`_grouped_integer_matmul`); the
+        coarser granularities accumulate the full row in int64 (the hardware
+        accumulates per *tile* there, which no practical width overflows).
+        The result equals :meth:`forward` up to floating-point associativity.
         """
         x = np.asarray(x, dtype=np.float64)
         squeeze = x.ndim == 1
@@ -117,12 +120,31 @@ class QuantizedLinear:
         return out.reshape(*x.shape[:-1], self.out_features)
 
     def _grouped_integer_matmul(self, x_codes, act_qt, w_codes, w_qt) -> np.ndarray:
-        """Per-group integer matmul: INT32 partial sums scaled per group."""
+        """Per-group integer matmul with a true INT32 accumulator.
+
+        Each group's partial products are summed in int32 -- the MMU's
+        accumulator width -- and only then scaled in floating point.  The
+        worst-case partial-sum magnitude of the *configuration*
+        (``group_len * qmax_act * qmax_weight``) is checked against the int32
+        range, mirroring the hardware's static overflow guarantee: an unsafe
+        configuration raises :class:`OverflowError` deterministically on its
+        first use, independent of the activation data, instead of silently
+        wrapping on the unlucky batch.
+        """
         in_features = self.in_features
         group = min(self.act_config.group_size, in_features)
         if w_qt.config.granularity is Granularity.PER_GROUP:
             group = min(group, w_qt.config.group_size)
         n_groups = -(-in_features // group)
+
+        worst_case = group * self.act_config.spec.qmax * w_qt.config.spec.qmax
+        if worst_case >= 2**31:
+            raise OverflowError(
+                f"per-group partial sum can reach {worst_case}, which does not fit "
+                "the INT32 accumulator (group length x code widths too large)"
+            )
+        x32 = x_codes.astype(np.int32)
+        w32 = w_codes.astype(np.int32)
 
         tokens = x_codes.shape[0]
         out = np.zeros((tokens, self.out_features), dtype=np.float64)
@@ -130,7 +152,7 @@ class QuantizedLinear:
         w_scales = self._expand_group_scales(w_qt, self.out_features, in_features, group)
         for g in range(n_groups):
             lo, hi = g * group, min((g + 1) * group, in_features)
-            acc = x_codes[:, lo:hi] @ w_codes[:, lo:hi].T  # INT32 accumulator
+            acc = x32[:, lo:hi] @ w32[:, lo:hi].T  # int32 @ int32 -> int32
             out += acc.astype(np.float64) * a_scales[:, g][:, None] * w_scales[:, g][None, :]
         return out
 

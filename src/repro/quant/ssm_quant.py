@@ -73,7 +73,16 @@ class QuantizedSSMStep:
     The operator decomposition matches Fig. 1 / Fig. 3 of the paper: each
     named element-wise multiplication is computed on fake-quantized operands
     and its output is re-quantized before feeding the next operator.
+
+    A leading batch axis is accepted on every tensor argument
+    (``supports_batched``); because the quantization grid is per-group along
+    the trailing axis, every batch row quantizes exactly as it would alone,
+    so batched stepping is bit-identical to per-row stepping.
     """
+
+    #: Advertises the optional leading batch axis to the block's prefill /
+    #: decode dispatch (single token loop instead of a per-row Python loop).
+    supports_batched = True
 
     def __init__(self, config: SSMQuantConfig = SSMQuantConfig()):
         self.config = config
@@ -110,16 +119,16 @@ class QuantizedSSMStep:
         delta = softplus(np.asarray(dt, dtype=np.float64) + params.dt_bias)
         a_bar = np.exp(delta * params.A)
 
-        delta_mul_b = self._qp(delta[:, None] * B[None, :])            # Delta (.) B
-        b_mul_x = self._qp(delta_mul_b[:, None, :] * x[:, :, None])    # B_bar (.) x
-        a_mul_h = self._qp(a_bar[:, None, None] * state)               # A_bar (.) h
+        delta_mul_b = self._qp(delta[..., :, None] * B[..., None, :])          # Delta (.) B
+        b_mul_x = self._qp(delta_mul_b[..., :, None, :] * x[..., :, :, None])  # B_bar (.) x
+        a_mul_h = self._qp(a_bar[..., :, None, None] * state)                  # A_bar (.) h
         new_state = a_mul_h + b_mul_x
         if self.config.quantize_state:
             new_state = self._q(new_state)
 
-        h_mul_c = self._qp(new_state * C[None, None, :])               # h (.) C
+        h_mul_c = self._qp(new_state * C[..., None, None, :])                  # h (.) C
         y_ssm = np.sum(h_mul_c, axis=-1)
-        x_mul_d = self._qp(params.D[:, None] * x)                      # x (.) D
+        x_mul_d = self._qp(params.D[:, None] * x)                              # x (.) D
         y = y_ssm + x_mul_d
         return y, new_state
 

@@ -2,13 +2,18 @@
 
 :class:`InferenceEngine` serves a *stream* of generation requests with a
 fixed-size pool of batch slots.  Each engine step (i) admits queued requests
-into free slots (prefilling their prompts and scattering the resulting
-recurrent state into the slot), (ii) advances every active slot by one decode
-token in a single batched model call, and (iii) retires requests that hit
-their stop token or length budget, freeing their slots for the next waiting
-request.  Because the Mamba recurrent cache is fixed-size, admission and
-eviction are plain ``gather`` / ``scatter`` row operations on the batched
-cache -- no paged KV allocator is needed.
+into free slots (prefilling their prompts with the chunked scan and
+scattering the resulting recurrent state into the slot), (ii) advances every
+active slot by one decode token in a single batched model call, and (iii)
+retires requests that hit their stop token or length budget, freeing their
+slots for the next waiting request.  Because the Mamba recurrent cache is
+fixed-size, admission and eviction are plain ``gather`` / ``scatter`` row
+operations on the batched cache -- no paged KV allocator is needed.
+
+With ``prefill_chunk_tokens`` set, admission is *chunked*: each engine
+iteration consumes at most that many prompt tokens, carrying partially
+prefilled prompts across iterations in their reserved slot, so a very long
+prompt interleaves with -- instead of stalling -- the in-flight decodes.
 
 Request results are independent of scheduling: every request reproduces what
 :func:`~repro.mamba.generation.greedy_decode` (or ``sample_decode`` with the
@@ -20,7 +25,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -84,6 +89,8 @@ class EngineStats:
     decode_calls: int = 0
     decode_call_rows: int = 0
     decoded_tokens: int = 0
+    prefill_calls: int = 0
+    prefilled_tokens: int = 0
 
     @property
     def tokens_per_decode_call(self) -> float:
@@ -107,6 +114,22 @@ class _Slot:
     logprobs: List[float] = field(default_factory=list)
 
 
+@dataclass
+class _PrefillProgress:
+    """A request whose prompt is being prefilled across engine iterations.
+
+    The slot is reserved but does not decode until the prompt is fully
+    consumed; ``cache`` carries the exact recurrent state after ``pos``
+    prompt tokens (the conv window continuation makes segment boundaries
+    invisible to the math).
+    """
+
+    request_id: int
+    request: Request
+    cache: InferenceCache
+    pos: int = 0
+
+
 class InferenceEngine:
     """Continuous batching over a stream of requests.
 
@@ -119,18 +142,35 @@ class InferenceEngine:
     seed:
         Base seed for sampled requests that do not carry their own ``seed``
         (request ``i`` then uses ``seed + i``).
+    prefill_chunk_tokens:
+        Optional bound on how many *prompt* tokens the engine processes per
+        iteration (chunked-prefill admission).  A long prompt is then
+        prefilled across several engine steps -- its slot is reserved but
+        in-flight decodes keep advancing every step, so one huge prompt can
+        no longer stall the running batch.  ``None`` (default) prefills each
+        admitted prompt in full at admission time.
     """
 
-    def __init__(self, model: Mamba2Model, max_batch_size: int = 8, seed: int = 0):
+    def __init__(
+        self,
+        model: Mamba2Model,
+        max_batch_size: int = 8,
+        seed: int = 0,
+        prefill_chunk_tokens: Optional[int] = None,
+    ):
         if max_batch_size <= 0:
             raise ValueError("max_batch_size must be positive")
+        if prefill_chunk_tokens is not None and prefill_chunk_tokens <= 0:
+            raise ValueError("prefill_chunk_tokens must be positive (or None)")
         self.model = model
         self.max_batch_size = max_batch_size
         self.seed = seed
+        self.prefill_chunk_tokens = prefill_chunk_tokens
         self.stats = EngineStats()
         self._queue: Deque[Tuple[int, Request]] = deque()
         self._next_id = 0
         self._slots: List[Optional[_Slot]] = [None] * max_batch_size
+        self._prefilling: Dict[int, _PrefillProgress] = {}
         self._cache = InferenceCache.zeros(model.config, batch_size=max_batch_size)
         self._pending_logits = np.zeros(
             (max_batch_size, model.config.vocab_size), dtype=np.float64
@@ -160,8 +200,13 @@ class InferenceEngine:
         return sum(slot is not None for slot in self._slots)
 
     @property
+    def num_prefilling(self) -> int:
+        """Requests whose prompt is still being chunk-prefilled."""
+        return len(self._prefilling)
+
+    @property
     def has_work(self) -> bool:
-        return self.num_waiting > 0 or self.num_active > 0
+        return self.num_waiting > 0 or self.num_active > 0 or self.num_prefilling > 0
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -232,14 +277,31 @@ class InferenceEngine:
     def _admit(self) -> List[Completion]:
         """Prefill queued requests into free slots (scatter admission).
 
+        With ``prefill_chunk_tokens`` set, at most that many prompt tokens
+        are consumed this iteration: in-flight chunked prefills resume first
+        (oldest request first), then new requests are admitted into free
+        slots while budget remains.  A partially prefilled request reserves
+        its slot but does not decode until its prompt is consumed.
+
         Returns completions for degenerate (zero-budget) requests, which
         never occupy a slot.
         """
         immediate: List[Completion] = []
+        budget = self.prefill_chunk_tokens
+        for slot_idx in sorted(self._prefilling):
+            if budget is not None and budget <= 0:
+                return immediate
+            budget = self._advance_prefill(slot_idx, budget)
         for slot_idx in range(self.max_batch_size):
-            if self._slots[slot_idx] is not None:
+            if budget is not None and budget <= 0:
+                break
+            if self._slots[slot_idx] is not None or slot_idx in self._prefilling:
                 continue
-            while self._queue and self._slots[slot_idx] is None:
+            while (
+                self._queue
+                and self._slots[slot_idx] is None
+                and slot_idx not in self._prefilling
+            ):
                 request_id, request = self._queue.popleft()
                 self.stats.admitted += 1
                 if request.max_new_tokens == 0:
@@ -255,21 +317,54 @@ class InferenceEngine:
                         )
                     )
                     continue
-                logits, cache = self.model.prefill(
-                    np.asarray(request.prompt, dtype=np.int64)
+                self._prefilling[slot_idx] = _PrefillProgress(
+                    request_id=request_id,
+                    request=request,
+                    cache=InferenceCache.zeros(self.model.config),
                 )
-                self._cache.scatter([slot_idx], InferenceCache.stack([cache]))
-                self._pending_logits[slot_idx] = logits
-                rng = None
-                if request.temperature is not None:
-                    rng_seed = (
-                        request.seed if request.seed is not None else self.seed + request_id
-                    )
-                    rng = np.random.default_rng(rng_seed)
-                self._slots[slot_idx] = _Slot(
-                    request_id=request_id, request=request, rng=rng
-                )
+                budget = self._advance_prefill(slot_idx, budget)
         return immediate
+
+    def _advance_prefill(self, slot_idx: int, budget: Optional[int]) -> Optional[int]:
+        """Consume up to ``budget`` prompt tokens of one in-flight prefill.
+
+        The request's single-sequence cache is continued exactly across
+        segments (chunked scan + conv-window carry); when the prompt is
+        exhausted the request is installed into its slot with the true
+        last-token logits pending, ready to decode next iteration.  Returns
+        the remaining budget (``None`` = unbounded).
+        """
+        progress = self._prefilling[slot_idx]
+        prompt = np.asarray(progress.request.prompt, dtype=np.int64)
+        remaining = prompt.shape[0] - progress.pos
+        take = remaining if budget is None else min(remaining, budget)
+        if take <= 0:
+            return budget
+        logits, _ = self.model.prefill(
+            prompt[progress.pos : progress.pos + take], cache=progress.cache
+        )
+        progress.pos += take
+        self.stats.prefill_calls += 1
+        self.stats.prefilled_tokens += take
+        if budget is not None:
+            budget -= take
+        if progress.pos == prompt.shape[0]:
+            del self._prefilling[slot_idx]
+            self._cache.scatter([slot_idx], InferenceCache.stack([progress.cache]))
+            self._pending_logits[slot_idx] = logits
+            request = progress.request
+            rng = None
+            if request.temperature is not None:
+                rng_seed = (
+                    request.seed
+                    if request.seed is not None
+                    else self.seed + progress.request_id
+                )
+                rng = np.random.default_rng(rng_seed)
+            self._slots[slot_idx] = _Slot(
+                request_id=progress.request_id, request=request, rng=rng
+            )
+        return budget
 
     def _select(self, slot: _Slot, logits: np.ndarray) -> Tuple[int, float]:
         """Choose the next token for one slot from its pending logits."""

@@ -25,7 +25,6 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.mamba.cache import InferenceCache
 from repro.mamba.generation import GenerationResult, _check_prompt
 from repro.mamba.model import Mamba2Model
 from repro.mamba.sampling import greedy_select, sample_select
@@ -71,8 +70,9 @@ class BatchedGenerator:
         Parameters
         ----------
         prompts:
-            One token-id sequence per request (lengths may differ; equal
-            lengths prefill as a single batched model call).
+            One token-id sequence per request; lengths may differ -- ragged
+            batches are right-padded and prefilled in one batched chunked
+            model call (see :meth:`_prefill`).
         max_new_tokens:
             Per-request or shared generation budget.
         temperature:
@@ -165,26 +165,19 @@ class BatchedGenerator:
 
     # ------------------------------------------------------------------
     def _prefill(self, prompts: List[np.ndarray]):
-        """Prefill all prompts, batching the model calls per prompt length."""
-        groups: dict = {}
-        for i, prompt in enumerate(prompts):
-            groups.setdefault(prompt.shape[0], []).append(i)
-        if len(groups) == 1:
+        """Prefill all prompts with one padded batched model call.
+
+        Ragged prompts are right-padded to the longest length and handed to
+        the chunked prefill with their true ``seq_lens``: the model reads each
+        row's logits at its true last token and snapshots its recurrent state
+        there, so one model call covers every request regardless of length
+        (pad positions are never observed -- the model is causal).
+        """
+        lengths = np.array([prompt.shape[0] for prompt in prompts], dtype=np.int64)
+        max_len = int(lengths.max())
+        if np.all(lengths == max_len):
             return self.model.prefill(np.stack(prompts))
-        # Ragged prompts: one batched prefill per equal-length group, then
-        # stack the fixed-size recurrent states back into request order.
-        logits_rows: List[np.ndarray] = [None] * len(prompts)  # type: ignore[list-item]
-        caches: List[InferenceCache] = [None] * len(prompts)  # type: ignore[list-item]
-        for indices in groups.values():
-            if len(indices) == 1:
-                row_logits, row_cache = self.model.prefill(prompts[indices[0]])
-                logits_rows[indices[0]] = row_logits
-                caches[indices[0]] = row_cache
-                continue
-            group_logits, group_cache = self.model.prefill(
-                np.stack([prompts[i] for i in indices])
-            )
-            for row, i in enumerate(indices):
-                logits_rows[i] = group_logits[row]
-                caches[i] = group_cache.row(row)
-        return np.stack(logits_rows), InferenceCache.stack(caches)
+        padded = np.zeros((len(prompts), max_len), dtype=np.int64)
+        for i, prompt in enumerate(prompts):
+            padded[i, : prompt.shape[0]] = prompt
+        return self.model.prefill(padded, seq_lens=lengths)

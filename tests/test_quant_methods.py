@@ -195,6 +195,58 @@ class TestQuantizedLinear:
         w8 = QuantizedLinear.from_weight(weight, 8, 8).memory_bytes()
         assert w4 < w8
 
+    def test_grouped_accumulation_is_int32(self):
+        """The grouped path accumulates in a true int32, like the MMU.
+
+        Regression pin: the accumulator dtype must stay int32 (not a silently
+        wider int64), with the overflow pre-check making that safe.
+        """
+        rng = np.random.default_rng(4)
+        layer = QuantizedLinear.from_weight(rng.normal(size=(8, 64)), 4, 4, group_size=16)
+        x = rng.normal(size=(3, 64))
+
+        seen_dtypes = []
+        original_matmul = np.ndarray.__matmul__
+
+        class _Spy(np.ndarray):
+            def __matmul__(self, other):
+                seen_dtypes.append((self.dtype, np.asarray(other).dtype))
+                return original_matmul(np.asarray(self), np.asarray(other))
+
+        original = QuantizedLinear._grouped_integer_matmul
+
+        def spied(self, x_codes, act_qt, w_codes, w_qt):
+            return original(self, x_codes.view(_Spy), act_qt, w_codes, w_qt)
+
+        QuantizedLinear._grouped_integer_matmul = spied
+        try:
+            out = layer.forward_integer(x)
+        finally:
+            QuantizedLinear._grouped_integer_matmul = original
+        np.testing.assert_allclose(out, layer.forward(x), rtol=1e-9, atol=1e-9)
+        assert seen_dtypes and all(
+            a == np.int32 and b == np.int32 for a, b in seen_dtypes
+        ), seen_dtypes
+
+    def test_grouped_accumulation_overflow_raises(self):
+        """A configuration whose partial sums cannot fit int32 must refuse.
+
+        128-length groups of 16-bit codes can reach 128 * 32767^2 > 2^31;
+        the FPGA accumulator would wrap, so the model raises instead.
+        """
+        from repro.quant.dtypes import Granularity, IntSpec
+        from repro.quant.quantizer import QuantizerConfig, quantize
+
+        rng = np.random.default_rng(5)
+        cfg = QuantizerConfig(
+            spec=IntSpec(16), granularity=Granularity.PER_GROUP, group_size=128
+        )
+        layer = QuantizedLinear(
+            weight_qt=quantize(rng.normal(size=(8, 256)), cfg), act_config=cfg
+        )
+        with pytest.raises(OverflowError):
+            layer.forward_integer(rng.normal(size=(3, 256)))
+
 
 class TestQuantizedSSM:
     def _inputs(self, seed=0, nheads=4, headdim=8, d_state=16):

@@ -23,6 +23,21 @@ def _inputs(seq_len=33, nheads=3, headdim=8, d_state=16, seed=0, with_state=True
     return params, x, B, C, dt, state
 
 
+def _batched_inputs(batch=3, seq_len=33, nheads=3, headdim=8, d_state=16, seed=0, with_state=True):
+    rng = np.random.default_rng(seed)
+    params = SSMParams(
+        A_log=np.log(rng.uniform(1, 8, size=nheads)),
+        D=rng.normal(1.0, 0.1, size=nheads),
+        dt_bias=rng.normal(size=nheads),
+    )
+    x = rng.normal(size=(batch, seq_len, nheads, headdim))
+    B = rng.normal(size=(batch, seq_len, d_state))
+    C = rng.normal(size=(batch, seq_len, d_state))
+    dt = rng.normal(size=(batch, seq_len, nheads))
+    state = rng.normal(size=(batch, nheads, headdim, d_state)) * 0.3 if with_state else None
+    return params, x, B, C, dt, state
+
+
 class TestChunkedScanEquivalence:
     @pytest.mark.parametrize("chunk_size", [1, 4, 7, 16, 64, 128])
     def test_matches_sequential_scan(self, chunk_size):
@@ -74,3 +89,91 @@ class TestChunkedScanEquivalence:
         y, final = ssd_chunked_scan(params, x, B, C, dt, state, chunk_size=chunk_size)
         np.testing.assert_allclose(y, y_ref, rtol=1e-8, atol=1e-9)
         np.testing.assert_allclose(final, final_ref, rtol=1e-8, atol=1e-9)
+
+
+class TestBatchedChunkedScan:
+    """The batch axis of the chunked SSD scan (the serving prefill path)."""
+
+    @pytest.mark.parametrize("chunk_size", [1, 7, 16, 64])
+    def test_matches_batched_sequential_scan(self, chunk_size):
+        """Batched chunked == batched sequential, nonzero initial state."""
+        params, x, B, C, dt, state = _batched_inputs()
+        y_ref, final_ref = ssm_scan(params, x, B, C, dt, state)
+        y, final = ssd_chunked_scan(params, x, B, C, dt, state, chunk_size=chunk_size)
+        np.testing.assert_allclose(y, y_ref, rtol=1e-9, atol=1e-10)
+        np.testing.assert_allclose(final, final_ref, rtol=1e-9, atol=1e-10)
+
+    def test_matches_per_row_scan(self):
+        """Every batch row must reproduce its own single-sequence scan.
+
+        seq_len 33 with chunk 8 leaves an uneven final chunk.
+        """
+        params, x, B, C, dt, state = _batched_inputs(seed=7)
+        y, final = ssd_chunked_scan(params, x, B, C, dt, state, chunk_size=8)
+        for i in range(x.shape[0]):
+            y_i, final_i = ssm_scan(params, x[i], B[i], C[i], dt[i], state[i])
+            np.testing.assert_allclose(y[i], y_i, rtol=1e-9, atol=1e-10)
+            np.testing.assert_allclose(final[i], final_i, rtol=1e-9, atol=1e-10)
+
+    def test_chunk_larger_than_sequence_batched(self):
+        params, x, B, C, dt, state = _batched_inputs(seq_len=5)
+        y_ref, final_ref = ssm_scan(params, x, B, C, dt, state)
+        y, final = ssd_chunked_scan(params, x, B, C, dt, state, chunk_size=512)
+        np.testing.assert_allclose(y, y_ref, rtol=1e-9, atol=1e-10)
+        np.testing.assert_allclose(final, final_ref, rtol=1e-9, atol=1e-10)
+
+    @pytest.mark.parametrize("chunk_size", [1, 8, 64])
+    def test_ragged_seq_lens_snapshot_states(self, chunk_size):
+        """Padded ragged batch: state rows must equal per-row truncated scans.
+
+        Lengths straddle chunk boundaries on both sides (and one row uses the
+        full padded length).
+        """
+        params, x, B, C, dt, state = _batched_inputs(batch=4, seq_len=21, seed=3)
+        lens = np.array([5, 21, 8, 16])
+        y, final = ssd_chunked_scan(
+            params, x, B, C, dt, state, chunk_size=chunk_size, seq_lens=lens
+        )
+        for i, n in enumerate(lens):
+            y_i, final_i = ssm_scan(params, x[i, :n], B[i, :n], C[i, :n], dt[i, :n], state[i])
+            np.testing.assert_allclose(y[i, :n], y_i, rtol=1e-9, atol=1e-10)
+            np.testing.assert_allclose(final[i], final_i, rtol=1e-9, atol=1e-10)
+
+    def test_sequential_scan_seq_lens_agree(self):
+        """ssm_scan's seq_lens snapshots must match the chunked scan's."""
+        params, x, B, C, dt, state = _batched_inputs(batch=3, seq_len=13, seed=5)
+        lens = np.array([13, 2, 9])
+        _, final_seq = ssm_scan(params, x, B, C, dt, state, seq_lens=lens)
+        _, final_chunk = ssd_chunked_scan(
+            params, x, B, C, dt, state, chunk_size=4, seq_lens=lens
+        )
+        np.testing.assert_allclose(final_chunk, final_seq, rtol=1e-9, atol=1e-10)
+
+    def test_seq_lens_validation(self):
+        params, x, B, C, dt, state = _batched_inputs()
+        with pytest.raises(ValueError):
+            ssd_chunked_scan(params, x, B, C, dt, state, seq_lens=np.array([1, 2]))
+        with pytest.raises(ValueError):
+            ssd_chunked_scan(params, x, B, C, dt, state, seq_lens=np.array([0, 1, 2]))
+        with pytest.raises(ValueError):
+            ssd_chunked_scan(
+                params, x, B, C, dt, state, seq_lens=np.array([1, 1, x.shape[1] + 1])
+            )
+        single = _inputs()
+        with pytest.raises(ValueError):
+            ssd_chunked_scan(*single[:6], seq_lens=np.array([3]))
+
+    def test_no_inf_mask_and_no_warnings(self):
+        """The causal gating must not build -inf masks or overflow the exp.
+
+        Long sequences with strong decay make the anti-causal exponent large
+        and positive; errstate(all="raise") turns any overflow or invalid
+        into a hard failure.
+        """
+        params, x, B, C, dt, state = _inputs(seq_len=257, seed=11)
+        dt = dt + 3.0  # strong decay -> large positive anti-causal exponents
+        with np.errstate(over="raise", invalid="raise"):
+            y, final = ssd_chunked_scan(params, x, B, C, dt, state, chunk_size=64)
+        y_ref, final_ref = ssm_scan(params, x, B, C, dt, state)
+        np.testing.assert_allclose(y, y_ref, rtol=1e-9, atol=1e-10)
+        np.testing.assert_allclose(final, final_ref, rtol=1e-9, atol=1e-10)
