@@ -20,7 +20,12 @@ the hardware co-design:
   (rotation (3) in Fig. 4a).
 - ``ssm_impl`` -- an alternative implementation of the SSM step with the same
   signature as :func:`repro.mamba.ssm.ssm_step`; the PoT-quantized SSM plugs
-  in here.
+  in here.  An implementation may advertise two optional capabilities:
+  ``supports_batched`` (a leading batch axis on the step arguments, used by
+  batched decode and the per-token prefill loop) and ``supports_prefill_scan``
+  (a ``prefill_scan`` method with the :func:`repro.mamba.ssm.ssd_chunked_scan`
+  signature, which ``forward`` routes the ``scan_impl="chunked"`` prefill
+  through -- the quantized chunk-parallel fast path).
 """
 
 from __future__ import annotations
@@ -236,8 +241,11 @@ class MambaBlock:
         scan_impl:
             ``"chunked"`` (SSD chunked scan, the fast path) or
             ``"sequential"`` (per-token reference recurrence); defaults to
-            ``config.scan_impl``.  Ignored when a custom ``ssm_impl`` is
-            installed (quantized models step token by token).
+            ``config.scan_impl``.  A custom ``ssm_impl`` advertising
+            ``supports_prefill_scan`` (e.g. the quantized chunked scan)
+            serves the ``"chunked"`` path through its own ``prefill_scan``;
+            other custom implementations, and every implementation under
+            ``"sequential"``, step token by token.
         chunk_size:
             Chunk length of the chunked scan; defaults to
             ``config.chunk_size``.
@@ -292,10 +300,28 @@ class MambaBlock:
                 y_heads, final_state = ssm_scan(
                     self.ssm, x_heads, b, c, dt, initial, seq_lens=seq_lens
                 )
+        elif impl == "chunked" and getattr(self.ssm_impl, "supports_prefill_scan", False):
+            # The installed implementation carries its own chunk-parallel
+            # prefill engine (e.g. the quantized SSD scan): one scan call for
+            # the whole sequence, same signature as ssd_chunked_scan.  The
+            # scan_impl="sequential" override below stays the per-token
+            # oracle for these implementations too.
+            initial = None if cache is None else cache.ssm_state
+            y_heads, final_state = self.ssm_impl.prefill_scan(
+                self.ssm,
+                x_heads,
+                b,
+                c,
+                dt,
+                initial_state=initial,
+                chunk_size=chunk,
+                seq_lens=seq_lens,
+            )
         else:
-            # A custom (e.g. quantized) step function: the recurrence steps
-            # token by token; a batch-capable implementation advances all rows
-            # in one call per token, otherwise fall back to per-row stepping.
+            # A custom (e.g. quantized) step function without a prefill scan,
+            # or the sequential oracle requested: the recurrence steps token
+            # by token; a batch-capable implementation advances all rows in
+            # one call per token, otherwise fall back to per-row stepping.
             lead = u.shape[:1] if batched else ()
             state = (
                 np.zeros(lead + (cfg.nheads, cfg.headdim, cfg.d_state))

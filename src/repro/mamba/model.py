@@ -138,6 +138,9 @@ class Mamba2Model:
             Optional per-call override of the prefill scan engine (defaults
             to ``config.scan_impl`` / ``config.chunk_size``; see
             :meth:`MambaBlock.forward <repro.mamba.block.MambaBlock.forward>`).
+            Quantized lightmamba* models serve ``"chunked"`` through their
+            quantized chunk-parallel scan; ``"sequential"`` selects the
+            per-token oracle for FP and quantized models alike.
 
         Returns
         -------
@@ -192,7 +195,10 @@ class Mamba2Model:
             when omitted.  Must match the batch shape of ``tokens``.
         scan_impl, chunk_size:
             Optional per-call override of the prefill scan engine (defaults
-            to ``config.scan_impl`` / ``config.chunk_size``).
+            to ``config.scan_impl`` / ``config.chunk_size``).  Applies to
+            quantized lightmamba* models too: their ``ssm_impl`` serves the
+            ``"chunked"`` path chunk-parallel and keeps ``"sequential"`` as
+            the per-token oracle.
         """
         tokens = np.asarray(tokens, dtype=np.int64)
         if tokens.ndim not in (1, 2):

@@ -31,6 +31,7 @@ from repro.mamba.ops import softplus
 
 __all__ = [
     "SSMParams",
+    "ssm_decay",
     "ssm_step",
     "ssm_step_trace",
     "ssm_scan",
@@ -79,14 +80,30 @@ class SSMParams:
         if self.A_log.ndim != 1:
             raise ValueError("SSM parameters must be 1-d (per head)")
 
+    def __setattr__(self, name, value) -> None:
+        # Invalidate the cached decay basis whenever A_log is (re)assigned,
+        # so the cache cannot go stale through field assignment.  In-place
+        # mutation of the A_log *array* is not tracked -- assign a new array
+        # (or build a new SSMParams) to change the decay.
+        if name == "A_log":
+            object.__setattr__(self, "_A", None)
+        object.__setattr__(self, name, value)
+
     @property
     def nheads(self) -> int:
         return self.A_log.shape[0]
 
     @property
     def A(self) -> np.ndarray:
-        """Continuous-time state matrix diagonal (negative, per head)."""
-        return -np.exp(self.A_log)
+        """Continuous-time state matrix diagonal (negative, per head).
+
+        Derived lazily and cached: A is read in every decode step of every
+        layer, so re-deriving ``-exp(A_log)`` per access would put an exp
+        over ``nheads`` into the per-token hot loop.
+        """
+        if self._A is None:
+            self._A = -np.exp(self.A_log)
+        return self._A
 
     def copy(self) -> "SSMParams":
         return SSMParams(self.A_log.copy(), self.D.copy(), self.dt_bias.copy())
@@ -129,6 +146,20 @@ def _validate_step_inputs(
             f"state must have shape {lead + (nheads, headdim, d_state)}, got {state.shape}"
         )
     return batched
+
+
+def ssm_decay(params: SSMParams, dt: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-head step size and decay, computed once per step.
+
+    Returns ``(delta, A_bar)`` with ``delta = softplus(dt + dt_bias)`` and
+    ``A_bar = exp(delta * A)``, broadcasting over any leading axes of ``dt``
+    (batch, or time for a scan).  This is the single place the decode path
+    derives its decay: both the floating-point step and the quantized step
+    call it, so the softplus / exp pair is evaluated exactly once per step
+    instead of being re-derived by each consumer of the same ``dt`` slice.
+    """
+    delta = softplus(np.asarray(dt, dtype=np.float64) + params.dt_bias)
+    return delta, np.exp(delta * params.A)
 
 
 def ssm_step_trace(
@@ -220,8 +251,7 @@ def ssm_step(
     state = np.asarray(state, dtype=np.float64)
     _validate_step_inputs(params, x, B, C, dt, state)
 
-    delta = softplus(dt + params.dt_bias)                        # (..., h)
-    A_bar = np.exp(delta * params.A)                             # (..., h)
+    delta, A_bar = ssm_decay(params, dt)                         # (..., h) each
     dB = delta[..., :, None] * B[..., None, :]                   # (..., h, n)  B_bar
     new_state = A_bar[..., :, None, None] * state                # (..., h, p, n)
     new_state += dB[..., :, None, :] * x[..., :, :, None]
@@ -258,6 +288,7 @@ def ssm_scan(
     dt: np.ndarray,
     initial_state: np.ndarray | None = None,
     seq_lens: np.ndarray | None = None,
+    step_fn=None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Run the SSM recurrence over a full sequence (prefill).
 
@@ -280,6 +311,11 @@ def ssm_scan(
         the row's *true* last token, so ragged prompts can share one padded
         scan.  ``y`` is still computed at every position (pad positions carry
         garbage, which is harmless downstream because the model is causal).
+    step_fn:
+        The per-token step to drive (``ssm_step`` signature, batch-capable
+        when the input is batched); defaults to :func:`ssm_step`.  The
+        quantized scan passes its own step here, so the token loop and its
+        ``seq_lens`` snapshot bookkeeping live in exactly one place.
 
     Returns
     -------
@@ -287,6 +323,7 @@ def ssm_scan(
         ``y`` has the same shape as ``x``; ``final_state`` is
         ``(nheads, headdim, d_state)`` with a leading batch axis if batched.
     """
+    step = ssm_step if step_fn is None else step_fn
     x = np.asarray(x, dtype=np.float64)
     B = np.asarray(B, dtype=np.float64)
     C = np.asarray(C, dtype=np.float64)
@@ -314,13 +351,13 @@ def ssm_scan(
     y = np.zeros_like(x)
     for t in range(seq_len):
         if batched:
-            y[:, t], state = ssm_step(params, x[:, t], B[:, t], C[:, t], dt[:, t], state)
+            y[:, t], state = step(params, x[:, t], B[:, t], C[:, t], dt[:, t], state)
             if seq_lens is not None:
                 ending = seq_lens == t + 1
                 if ending.any():
                     final[ending] = state[ending]
         else:
-            y[t], state = ssm_step(params, x[t], B[t], C[t], dt[t], state)
+            y[t], state = step(params, x[t], B[t], C[t], dt[t], state)
     if seq_lens is not None:
         return y, final
     return y, state

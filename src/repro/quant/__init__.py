@@ -14,7 +14,8 @@ paper) together with the prior-art baselines it compares against:
 - :mod:`repro.quant.rotation` -- the rotation-assisted quantization of
   Fig. 4a, with all five fusion points and the online Hadamard transform.
 - :mod:`repro.quant.pot` -- power-of-two scale quantization used for the SSM.
-- :mod:`repro.quant.ssm_quant` -- the fully quantized SSM step (LightMamba*).
+- :mod:`repro.quant.ssm_quant` -- the fully quantized SSM step and its
+  chunk-parallel prefill scan (LightMamba*).
 - :mod:`repro.quant.qlinear` / :mod:`repro.quant.qmodel` -- quantized linear
   layers and whole-model assembly for every method / bit-width combination.
 - :mod:`repro.quant.calibration` -- activation-statistics collection.
@@ -43,7 +44,7 @@ from repro.quant.hadamard import (
 )
 from repro.quant.pot import pot_quantize_scale, pot_quantize_dequantize, shift_requantize
 from repro.quant.rotation import RotationConfig, RotatedModel, rotate_model, OnlineHadamard
-from repro.quant.ssm_quant import SSMQuantConfig, QuantizedSSMStep
+from repro.quant.ssm_quant import SSMQuantConfig, QuantizedSSMStep, QuantizedChunkedScan
 from repro.quant.qlinear import QuantizedLinear
 from repro.quant.qmodel import QuantMethod, QuantConfig, quantize_model
 from repro.quant.calibration import CalibrationResult, collect_activation_stats
@@ -86,6 +87,7 @@ __all__ = [
     "OnlineHadamard",
     "SSMQuantConfig",
     "QuantizedSSMStep",
+    "QuantizedChunkedScan",
     "QuantizedLinear",
     "QuantMethod",
     "QuantConfig",

@@ -39,7 +39,7 @@ from repro.quant.rtn import (
     weight_quantizer_config,
 )
 from repro.quant.smoothquant import SmoothQuantConfig, compute_smoothing_scales
-from repro.quant.ssm_quant import SSMQuantConfig, QuantizedSSMStep
+from repro.quant.ssm_quant import SSMQuantConfig, QuantizedChunkedScan
 
 __all__ = ["QuantMethod", "QuantConfig", "quantize_model"]
 
@@ -238,7 +238,10 @@ def quantize_model(
         block.pre_out_proj = _Chain(out_transform, _ActivationQuant(act_cfg))
 
         if method.quantizes_ssm:
-            block.ssm_impl = QuantizedSSMStep(config.ssm)
+            # The chunk-parallel quantized scan: decodes exactly like the
+            # plain QuantizedSSMStep and serves scan_impl="chunked" prefills
+            # through its SSD-style prefill_scan (supports_prefill_scan).
+            block.ssm_impl = QuantizedChunkedScan(config.ssm)
             block.conv.weight = quantize_dequantize(block.conv.weight, conv_weight_cfg)
 
     return quantized

@@ -7,24 +7,35 @@ in floating point -- on the FPGA they are implemented with dedicated units --
 while every multiplicative operand and every element-wise product is
 fake-quantized on the INT8 PoT grid.
 
-:class:`QuantizedSSMStep` is a drop-in replacement for
-:func:`repro.mamba.ssm.ssm_step` (it matches the ``ssm_impl`` signature of
-:class:`repro.mamba.block.MambaBlock`).
+Two inference engines are provided:
+
+- :class:`QuantizedSSMStep` is a drop-in replacement for
+  :func:`repro.mamba.ssm.ssm_step` (it matches the ``ssm_impl`` signature of
+  :class:`repro.mamba.block.MambaBlock`) and advances the quantized
+  recurrence one token at a time -- the decode engine, and the sequential
+  prefill oracle.
+- :class:`QuantizedChunkedScan` extends it with a chunk-parallel prefill scan
+  (``prefill_scan``) mirroring the intra/inter-chunk SSD decomposition of
+  :func:`repro.mamba.ssm.ssd_chunked_scan`, with the quantization points kept
+  at the same operator interfaces.  It advertises ``supports_prefill_scan``,
+  which :meth:`MambaBlock.forward <repro.mamba.block.MambaBlock.forward>`
+  routes the ``scan_impl="chunked"`` prefill through -- this is how the
+  LightMamba* configurations inherit the chunked prefill fast path.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Tuple
+from dataclasses import dataclass
+from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.mamba.ops import softplus
-from repro.mamba.ssm import SSMParams
+from repro.mamba.ssm import SSMParams, _validate_seq_lens, ssm_decay, ssm_scan
 from repro.quant.dtypes import Granularity, IntSpec
 from repro.quant.quantizer import QuantizerConfig, quantize_dequantize
 
-__all__ = ["SSMQuantConfig", "QuantizedSSMStep"]
+__all__ = ["SSMQuantConfig", "QuantizedSSMStep", "QuantizedChunkedScan"]
 
 
 @dataclass(frozen=True)
@@ -43,7 +54,8 @@ class SSMQuantConfig:
         Setting it to ``False`` gives the "naive non-PoT" ablation of Fig. 3.
     quantize_state:
         Also keep the recurrent hidden state ``h`` on the integer grid between
-        steps (the state is stored in on-chip memory on the FPGA).
+        steps (the state is stored in on-chip memory on the FPGA).  The
+        chunk-parallel scan applies it at chunk boundaries.
     quantize_products:
         Re-quantize every element-wise product (the re-quantization whose
         hardware cost Fig. 3 analyses).  Disabling keeps products at high
@@ -84,9 +96,16 @@ class QuantizedSSMStep:
     #: decode dispatch (single token loop instead of a per-row Python loop).
     supports_batched = True
 
+    #: The plain step has no chunk-parallel prefill engine; the block's
+    #: prefill then falls back to the per-token loop.  See
+    #: :class:`QuantizedChunkedScan` for the implementation that sets it.
+    supports_prefill_scan = False
+
     def __init__(self, config: SSMQuantConfig = SSMQuantConfig()):
         self.config = config
         self._qcfg = config.config()
+        # (D array, D[:, None]) derived on first use (see _d_col).
+        self._static_cache: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
     def _q(self, x: np.ndarray) -> np.ndarray:
         """Fake-quantize a tensor on the configured grid."""
@@ -98,6 +117,21 @@ class QuantizedSSMStep:
             return x
         return quantize_dequantize(x, self._qcfg)
 
+    def _d_col(self, params: SSMParams) -> np.ndarray:
+        """The skip coefficient broadcast column ``D[:, None]``, cached.
+
+        Keeps the reshape + copy out of the per-token hot loop (``params.A``
+        is already cached by :class:`SSMParams`).  Keyed on the ``D`` array
+        itself, so reassigning ``params.D`` invalidates the cache exactly
+        like reassigning ``A_log`` invalidates ``SSMParams.A``; like there,
+        in-place mutation of the array is not tracked.
+        """
+        cached = self._static_cache
+        if cached is None or cached[0] is not params.D:
+            cached = (params.D, np.ascontiguousarray(params.D[:, None]))
+            self._static_cache = cached
+        return cached[1]
+
     def __call__(
         self,
         params: SSMParams,
@@ -108,6 +142,7 @@ class QuantizedSSMStep:
         state: np.ndarray,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Advance the quantized recurrence one token (``ssm_impl`` signature)."""
+        d_col = self._d_col(params)
         x = self._q(np.asarray(x, dtype=np.float64))
         B = self._q(np.asarray(B, dtype=np.float64))
         C = self._q(np.asarray(C, dtype=np.float64))
@@ -115,9 +150,9 @@ class QuantizedSSMStep:
         if self.config.quantize_state:
             state = self._q(state)
 
-        # Non-linear operators stay in floating point (dedicated FPGA units).
-        delta = softplus(np.asarray(dt, dtype=np.float64) + params.dt_bias)
-        a_bar = np.exp(delta * params.A)
+        # Non-linear operators stay in floating point (dedicated FPGA units);
+        # the decay pair is computed once per step by the shared helper.
+        delta, a_bar = ssm_decay(params, dt)
 
         delta_mul_b = self._qp(delta[..., :, None] * B[..., None, :])          # Delta (.) B
         b_mul_x = self._qp(delta_mul_b[..., :, None, :] * x[..., :, :, None])  # B_bar (.) x
@@ -128,12 +163,194 @@ class QuantizedSSMStep:
 
         h_mul_c = self._qp(new_state * C[..., None, None, :])                  # h (.) C
         y_ssm = np.sum(h_mul_c, axis=-1)
-        x_mul_d = self._qp(params.D[:, None] * x)                              # x (.) D
+        x_mul_d = self._qp(d_col * x)                                          # x (.) D
         y = y_ssm + x_mul_d
         return y, new_state
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
-            f"QuantizedSSMStep(bits={self.config.bits}, "
+            f"{type(self).__name__}(bits={self.config.bits}, "
             f"group_size={self.config.group_size}, pot={self.config.pot_scale})"
         )
+
+
+class QuantizedChunkedScan(QuantizedSSMStep):
+    """Chunk-parallel quantized prefill scan (the SSMU fast path).
+
+    Mirrors the intra/inter-chunk SSD decomposition of
+    :func:`repro.mamba.ssm.ssd_chunked_scan` while keeping the quantization
+    points of :class:`QuantizedSSMStep` fixed at the operator interfaces,
+    the FastMamba / ViM-Q recipe for chunk-parallel quantized Mamba blocks:
+
+    - the inputs ``x`` / ``B`` / ``C`` are fake-quantized on entry exactly as
+      the sequential step quantizes them per token (per-group grids live on
+      the trailing axis, so quantizing a whole chunk at once is bit-identical
+      to quantizing each token alone);
+    - the ``Delta (.) B`` and ``D (.) x`` element-wise products are
+      re-quantized at the SSMU interfaces, bit-identically to the step;
+    - the recurrent state is quantized at chunk *boundaries* (entry and every
+      hand-off) instead of after every token, and the intra-chunk outer
+      products / state readout accumulate at high precision -- the MMU-style
+      wide-accumulator interpretation of the dense in-chunk matmuls.
+
+    Two of the step's per-token re-quantization points (``B_bar (.) x`` and
+    ``h (.) C``) therefore collapse into the chunk matmuls; with
+    ``chunk_size=1`` the scan dispatches to the exact per-token step loop
+    (shared code with :class:`QuantizedSSMStep`), making the reduction to the
+    sequential quantized oracle bit-identical by construction.  At larger
+    chunk sizes the scan is the fast approximation whose quality the eval
+    harness pins (perplexity shift < 0.1 vs. the sequential oracle).
+
+    Decode is inherited unchanged from :class:`QuantizedSSMStep`, so a model
+    carrying this implementation decodes bit-identically to one carrying the
+    plain step.
+    """
+
+    #: Tells MambaBlock.forward to route a ``scan_impl="chunked"`` prefill
+    #: through :meth:`prefill_scan` instead of the per-token loop.
+    supports_prefill_scan = True
+
+    def prefill_scan(
+        self,
+        params: SSMParams,
+        x: np.ndarray,
+        B: np.ndarray,
+        C: np.ndarray,
+        dt: np.ndarray,
+        initial_state: Optional[np.ndarray] = None,
+        chunk_size: int = 64,
+        seq_lens: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Run the quantized recurrence over a full sequence, chunk-parallel.
+
+        The signature matches :func:`repro.mamba.ssm.ssd_chunked_scan`:
+        ``x`` is ``(seq_len, nheads, headdim)`` (optionally with a leading
+        batch axis carried by every argument), ``B`` / ``C`` are
+        ``(seq_len, d_state)``, ``dt`` is the raw per-head step size (before
+        softplus), ``initial_state`` an optional warm state (copied, then
+        quantized at chunk entry when ``quantize_state`` is set), and
+        ``seq_lens`` optional per-row true lengths of a right-padded ragged
+        batch -- the returned state rows are then snapshots at each row's
+        true last token.
+
+        Returns ``(y, final_state)`` with ``y`` shaped like ``x``.
+        """
+        if chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        x = np.asarray(x, dtype=np.float64)
+        B = np.asarray(B, dtype=np.float64)
+        C = np.asarray(C, dtype=np.float64)
+        dt = np.asarray(dt, dtype=np.float64)
+        if x.ndim not in (3, 4):
+            raise ValueError(
+                "x must have shape (seq_len, nheads, headdim) or "
+                "(batch, seq_len, nheads, headdim)"
+            )
+        batched = x.ndim == 4
+        seq_len, nheads, headdim = x.shape[-3:]
+        d_state = B.shape[-1]
+        if nheads != params.nheads:
+            raise ValueError("head count mismatch between x and params")
+        lead = x.shape[:1] if batched else ()
+        state_shape = lead + (nheads, headdim, d_state)
+        if initial_state is None:
+            state = np.zeros(state_shape, dtype=np.float64)
+        else:
+            state = np.array(initial_state, dtype=np.float64, copy=True)
+            if state.shape != state_shape:
+                raise ValueError(
+                    f"initial_state must have shape {state_shape}, got {state.shape}"
+                )
+        if seq_lens is not None:
+            seq_lens = _validate_seq_lens(seq_lens, batched, x.shape[0], seq_len)
+
+        if chunk_size == 1:
+            # The per-token loop: ssm_scan driving this object's own step, so
+            # the chunk_size=1 reduction to the sequential quantized oracle
+            # is bit-identical by construction (shared step code, shared
+            # token loop and seq_lens snapshot bookkeeping).
+            return ssm_scan(
+                params, x, B, C, dt, initial_state=state, seq_lens=seq_lens, step_fn=self
+            )
+
+        A, d_col = params.A, self._d_col(params)
+        quantize_state = self.config.quantize_state
+
+        # Operand quantization at the SSMU interfaces.  Per-group grids are
+        # computed along the trailing axis only, so quantizing the whole
+        # sequence at once is bit-identical to the step's per-token _q.
+        qx = self._q(x)
+        qB = self._q(B)
+        qC = self._q(C)
+        delta = softplus(dt + params.dt_bias)               # (..., T, h)
+        log_decay = delta * A                               # (..., T, h), negative
+        # Delta (.) B, re-quantized exactly as the step's delta_mul_b.
+        qdB = self._qp(delta[..., None] * qB[..., None, :])  # (..., T, h, n)
+        # D (.) x skip path, re-quantized exactly as the step's x_mul_d.
+        y = self._qp(d_col * qx)
+
+        if quantize_state:
+            state = self._q(state)                          # chunk-entry quantization
+        if seq_lens is not None:
+            snapshot = np.zeros_like(state)
+
+        # The loop below deliberately mirrors (rather than shares) the chunk
+        # body of ssd_chunked_scan: the FP scan contracts one head-independent
+        # C B^T matrix per chunk, a factorization that quantization breaks --
+        # folding Delta and the requant into qdB gives B a head axis, so every
+        # contraction here is per-head.  Keep the two bodies in sync when
+        # touching either.
+        chunk = min(chunk_size, seq_len)
+        causal_full = np.tril(np.ones((chunk, chunk), dtype=np.float64))
+        for start in range(0, seq_len, chunk):
+            stop = min(start + chunk, seq_len)
+            q_len = stop - start
+            xc = qx[..., start:stop, :, :]                  # (..., Q, h, p)
+            bc = qdB[..., start:stop, :, :]                 # (..., Q, h, n)
+            cc = qC[..., start:stop, :]                     # (..., Q, n)
+            lc = np.cumsum(log_decay[..., start:stop, :], axis=-2)  # (..., Q, h)
+
+            # Dense decay-weighted interaction on the quantized operands:
+            #   G[t, s, head] = exp(L_t - L_s) * (qC_t . qdB_s[head]), s <= t.
+            # The d_state contraction runs at high precision (the MMU-style
+            # wide accumulator); L is decreasing so causal entries have
+            # diff <= 0, and clamping keeps the masked upper triangle finite.
+            bh = np.moveaxis(bc, -2, -3)                    # (..., h, Q, n)
+            cb = np.moveaxis(
+                cc[..., None, :, :] @ np.swapaxes(bh, -1, -2), -3, -1
+            )                                               # (..., Q, Q, h)
+            causal = causal_full if q_len == chunk else causal_full[:q_len, :q_len]
+            diff = lc[..., :, None, :] - lc[..., None, :, :]
+            gate = cb * np.exp(np.minimum(diff, 0.0)) * causal[..., :, :, None]
+            yc = np.moveaxis(
+                np.moveaxis(gate, -1, -3) @ np.moveaxis(xc, -2, -3), -3, -2
+            )                                               # (..., Q, h, p)
+            # Carried-in state readout (h_in . C per head, decayed to t).
+            readout = state @ np.swapaxes(cc, -1, -2)[..., None, :, :]  # (..., h, p, Q)
+            yc += np.exp(lc)[..., None] * np.moveaxis(readout, -1, -3)
+            y[..., start:stop, :, :] += yc
+
+            if seq_lens is not None:
+                # Snapshot rows whose true last token falls inside the chunk:
+                # the hand-off formula truncated at the row's local position.
+                for row in np.nonzero((seq_lens > start) & (seq_lens <= stop))[0]:
+                    j = int(seq_lens[row]) - 1 - start
+                    carry_j = np.exp(lc[row, j][None, :] - lc[row, : j + 1])  # (j+1, h)
+                    wx_j = np.moveaxis(carry_j[:, :, None] * xc[row, : j + 1], 0, -1)
+                    row_state = (
+                        np.exp(lc[row, j])[:, None, None] * state[row]
+                        + wx_j @ np.moveaxis(bc[row, : j + 1], -2, -3)
+                    )
+                    snapshot[row] = self._q(row_state) if quantize_state else row_state
+
+            # Chunk hand-off, then the chunk-boundary state quantization.
+            last = lc[..., -1, :]                           # (..., h)
+            carry = np.exp(last[..., None, :] - lc)         # (..., Q, h)
+            wx = np.moveaxis(carry[..., None] * xc, -3, -1)  # (..., h, p, Q)
+            state = np.exp(last)[..., :, None, None] * state + wx @ bh
+            if quantize_state:
+                state = self._q(state)
+
+        if seq_lens is not None:
+            return y, snapshot
+        return y, state

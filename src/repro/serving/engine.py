@@ -2,8 +2,9 @@
 
 :class:`InferenceEngine` serves a *stream* of generation requests with a
 fixed-size pool of batch slots.  Each engine step (i) admits queued requests
-into free slots (prefilling their prompts with the chunked scan and
-scattering the resulting recurrent state into the slot), (ii) advances every
+into free slots (prefilling their prompts with the chunked scan -- the
+quantized chunk-parallel scan for lightmamba* models -- and scattering the
+resulting recurrent state into the slot), (ii) advances every
 active slot by one decode token in a single batched model call, and (iii)
 retires requests that hit their stop token or length budget, freeing their
 slots for the next waiting request.  Because the Mamba recurrent cache is
@@ -148,7 +149,16 @@ class InferenceEngine:
         prefilled across several engine steps -- its slot is reserved but
         in-flight decodes keep advancing every step, so one huge prompt can
         no longer stall the running batch.  ``None`` (default) prefills each
-        admitted prompt in full at admission time.
+        admitted prompt in full at admission time.  For FP models chunked
+        admission is exact regardless of the segment size.  For a quantized
+        chunk-parallel model (lightmamba*), segmentation that lands on the
+        model's ``chunk_size`` boundaries is bit-exact with a one-shot
+        prefill (the PoT state re-quantization is idempotent on chunk-aligned
+        states); a chunk-aligned budget keeps a request's segments aligned
+        *when it has the iteration's budget to itself*, but leftover budget
+        shared with another request in the same iteration can still produce
+        an unaligned segment, which shifts that prompt's state-quantization
+        points by quantization-noise scale (an approximation, not an error).
     """
 
     def __init__(

@@ -171,7 +171,9 @@ class BatchedGenerator:
         the chunked prefill with their true ``seq_lens``: the model reads each
         row's logits at its true last token and snapshots its recurrent state
         there, so one model call covers every request regardless of length
-        (pad positions are never observed -- the model is causal).
+        (pad positions are never observed -- the model is causal).  Quantized
+        lightmamba* models take the same path: their ``ssm_impl`` serves the
+        chunked scan chunk-parallel instead of token by token.
         """
         lengths = np.array([prompt.shape[0] for prompt in prompts], dtype=np.int64)
         max_len = int(lengths.max())

@@ -25,11 +25,28 @@ class TestQuantizedDecodePath:
         quantized = quantize_model(model, QuantConfig.w4a4(method, group_size=32))
         rng = np.random.default_rng(0)
         tokens = rng.integers(0, model.config.vocab_size, size=10)
+
+        # Sequential oracle: prefill + decode step reproduce forward exactly
+        # (token-by-token numerics are shared between the three entry points).
+        full = quantized.forward(tokens, scan_impl="sequential")
+        logits, cache = quantized.prefill(tokens[:-1], scan_impl="sequential")
+        step = quantized.step(int(tokens[-1]), cache)
+        np.testing.assert_allclose(logits, full[-2], rtol=1e-7, atol=1e-7)
+        np.testing.assert_allclose(step, full[-1], rtol=1e-7, atol=1e-7)
+
+        # Default (chunked) path: prefill logits still match forward tightly
+        # (same scan, causal prefix).  The decode step after a chunked prefill
+        # matches forward tightly for FP-scan models; for lightmamba* the
+        # per-token step re-quantizes products the chunk body accumulates at
+        # high precision, so the agreement is at quantization-noise scale.
         full = quantized.forward(tokens)
         logits, cache = quantized.prefill(tokens[:-1])
         step = quantized.step(int(tokens[-1]), cache)
         np.testing.assert_allclose(logits, full[-2], rtol=1e-7, atol=1e-7)
-        np.testing.assert_allclose(step, full[-1], rtol=1e-7, atol=1e-7)
+        if method is QuantMethod.LIGHTMAMBA_STAR:
+            np.testing.assert_allclose(step, full[-1], rtol=5e-2, atol=5e-2)
+        else:
+            np.testing.assert_allclose(step, full[-1], rtol=1e-7, atol=1e-7)
 
     def test_greedy_decode_deterministic_for_quantized(self, model):
         quantized = quantize_model(
