@@ -52,7 +52,14 @@ PREFILL_BENCH_CONFIG = Mamba2Config(
 
 
 def _best_of(fn, repeats):
-    """Fastest wall-clock of ``repeats`` runs (damps scheduler noise)."""
+    """Fastest wall-clock of ``repeats`` runs (damps scheduler noise).
+
+    One untimed warmup call precedes the timed runs: allocator and BLAS
+    thread-pool state otherwise make the first-measured configuration look
+    slower, which skews speedup ratios between runs of different shapes
+    (e.g. the CI smoke run vs the committed full run).
+    """
+    fn()
     best = np.inf
     for _ in range(repeats):
         start = time.perf_counter()
@@ -143,7 +150,16 @@ def format_results(results) -> str:
     )
 
 
-def write_json(results, path) -> None:
+#: Measurement shape of the CI smoke runs.  The committed JSON stores a
+#: smoke-shaped ``smoke_speedup`` section next to the full-run numbers so the
+#: regression gate (benchmarks/check_regression.py) always compares
+#: like-shaped runs: warmup order biases the sequential baseline, so a smoke
+#: measurement is only comparable to another smoke measurement.
+SMOKE_SEQ_LENS = (64, 128)
+SMOKE_REPEATS = 3
+
+
+def write_json(results, path, smoke_speedup=None) -> None:
     path = Path(path)
     payload = {
         "benchmark": "prefill_throughput",
@@ -158,6 +174,11 @@ def write_json(results, path) -> None:
             for name, points in results["speedup"].items()
         },
     }
+    if smoke_speedup is not None:
+        payload["smoke_speedup"] = {
+            name: {str(k): v for k, v in points.items()}
+            for name, points in smoke_speedup.items()
+        }
     path.write_text(json.dumps(payload, indent=2) + "\n")
 
 
@@ -165,7 +186,12 @@ def test_prefill_throughput(benchmark, save_output):
     results = benchmark.pedantic(bench_prefill_throughput, rounds=1, iterations=1)
     text = format_results(results)
     save_output("prefill_throughput", text)
-    write_json(results, Path(__file__).parent.parent / "BENCH_prefill.json")
+    smoke = bench_prefill_throughput(seq_lens=SMOKE_SEQ_LENS, repeats=SMOKE_REPEATS)
+    write_json(
+        results,
+        Path(__file__).parent.parent / "BENCH_prefill.json",
+        smoke_speedup=smoke["speedup"],
+    )
 
     # The chunked scan is the production prefill engine: the acceptance bar is
     # 5x over the sequential recurrence at the longest measured prompt.  The
@@ -197,13 +223,20 @@ if __name__ == "__main__":
 
     if args.smoke:
         results = bench_prefill_throughput(
-            seq_lens=(64, 128), chunk_size=args.chunk_size, repeats=1
+            seq_lens=SMOKE_SEQ_LENS, chunk_size=args.chunk_size, repeats=SMOKE_REPEATS
         )
+        smoke_speedup = results["speedup"]
     else:
         results = bench_prefill_throughput(chunk_size=args.chunk_size)
+        smoke_speedup = bench_prefill_throughput(
+            seq_lens=SMOKE_SEQ_LENS, chunk_size=args.chunk_size, repeats=SMOKE_REPEATS
+        )["speedup"]
     print(format_results(results))
-    out_dir = Path(__file__).parent / "output"
-    out_dir.mkdir(exist_ok=True)
+    # Smoke runs keep their artifacts next to their JSON (benchmarks/output/
+    # fresh/ in CI) so they never clobber the committed full-run records.
+    out_dir = args.output.parent if args.smoke else Path(__file__).parent / "output"
+    out_dir.mkdir(parents=True, exist_ok=True)
     (out_dir / "prefill_throughput.txt").write_text(format_results(results) + "\n")
-    write_json(results, args.output)
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    write_json(results, args.output, smoke_speedup=smoke_speedup)
     print(f"[saved to {args.output}]")

@@ -1,0 +1,311 @@
+"""Admission scheduling: FIFO vs priority vs paged under a mixed workload.
+
+LightMamba's hardware pipeline overlaps prefill and decode so the SSMU/MMU
+units never idle; the serving layer's equivalent knob is the *admission
+policy* -- which waiting request gets the next prompt tokens, and how many.
+This benchmark drives the three shipped policies
+(:class:`~repro.serving.scheduler.FIFOScheduler`,
+:class:`~repro.serving.scheduler.PriorityScheduler`,
+:class:`~repro.serving.scheduler.PagedScheduler`) through an identical
+*seeded* mixed workload -- mostly short high-priority "interactive" prompts
+with a tail of long low-priority "batch" prompts arriving over time -- and
+measures, per policy:
+
+- **p50 / p99 time-to-first-token**, both in engine iterations and in *token
+  time* -- the number of model tokens (prompt + decode) the engine processed
+  between submission and the request's first generated token.  Token time is
+  the wall-time proxy on hardware where every token costs one datapath beat:
+  iteration counts flatter unbounded admission (one iteration may hide a
+  300-token prompt), token time does not.  Both are deterministic: they
+  depend only on the workload seed and the policy, never the machine;
+- **p50 / p99 queue wait** in engine iterations, plus short-request-class
+  splits (the latency class interactive serving cares about);
+- **decode-stall iterations** -- iterations that charged more than one page of
+  prompt tokens while decodes were in flight (an unbounded FIFO admission
+  stalls the running batch for the whole prompt; the paged ledger bounds it);
+- wall-clock tokens/sec (informational only -- machine-dependent, excluded
+  from the CI regression gate).
+
+Results are printed as a table, saved to ``benchmarks/output/`` and recorded
+in the repo-root ``BENCH_scheduler.json``.  Because the iteration-space
+metrics are deterministic, the committed JSON doubles as an exact regression
+baseline: ``benchmarks/check_regression.py`` compares a fresh ``--smoke`` run
+against it in CI.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_scheduler.py [--smoke]
+
+or through the benchmark harness
+(``pytest benchmarks/bench_scheduler.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.bench import format_rows
+from repro.mamba import InitConfig, Mamba2Model, get_preset
+from repro.serving import (
+    FIFOScheduler,
+    InferenceEngine,
+    PagedScheduler,
+    PriorityScheduler,
+    Request,
+)
+
+#: Page budget of the paged policy, and the stall threshold all policies are
+#: judged against: an iteration that consumes more prompt tokens than this
+#: while decodes are in flight counts as a decode stall.
+PAGE_TOKENS = 64
+
+#: Prompts shorter than this belong to the "short" (interactive) class.
+SHORT_PROMPT_TOKENS = 32
+
+MAX_BATCH_SIZE = 4
+WORKLOAD_SEED = 0
+
+
+@dataclass(frozen=True)
+class WorkloadItem:
+    """One arrival: submit ``request`` once the engine reaches ``submit_step``."""
+
+    submit_step: int
+    request: Request
+    priority: int
+
+
+def make_workload(
+    vocab_size: int,
+    n_requests: int,
+    seed: int = WORKLOAD_SEED,
+    short_fraction: float = 0.75,
+) -> List[WorkloadItem]:
+    """Seeded mixed short/long workload (deterministic for a given seed).
+
+    Short requests model interactive traffic: small prompts (4-12 tokens),
+    moderate decode budgets, high priority.  Long requests model batch
+    traffic: 96-192 token prompts, small decode budgets, low priority.
+    Arrivals are spread over engine iterations with seeded inter-arrival gaps.
+    """
+    rng = np.random.default_rng(seed)
+    items: List[WorkloadItem] = []
+    step = 0
+    for _ in range(n_requests):
+        step += int(rng.integers(0, 3))
+        if rng.random() < short_fraction:
+            size = int(rng.integers(4, 13))
+            budget = int(rng.integers(6, 17))
+            priority = 2
+        else:
+            size = int(rng.integers(96, 193))
+            budget = int(rng.integers(3, 9))
+            priority = 0
+        prompt = tuple(int(t) for t in rng.integers(0, vocab_size, size=size))
+        items.append(
+            WorkloadItem(
+                submit_step=step,
+                request=Request(prompt=prompt, max_new_tokens=budget),
+                priority=priority,
+            )
+        )
+    return items
+
+
+def run_policy(
+    model: Mamba2Model,
+    scheduler,
+    workload: Sequence[WorkloadItem],
+    max_batch_size: int = MAX_BATCH_SIZE,
+    stall_page_tokens: int = PAGE_TOKENS,
+) -> Dict[str, object]:
+    """Serve one workload under one policy; returns metrics + admission trace.
+
+    The ``metrics`` dict contains only iteration-space (machine-independent)
+    quantities; wall-clock throughput is reported separately.
+    """
+    engine = InferenceEngine(model, max_batch_size=max_batch_size, scheduler=scheduler)
+    idx = 0
+    stall_iterations = 0
+    max_prefill_per_iteration = 0
+    # token_clock[s] = cumulative model tokens (prompt + decode) after step s;
+    # differences of it convert engine-step intervals into token time.
+    token_clock = [0]
+    start = time.perf_counter()
+    while idx < len(workload) or engine.has_work:
+        while idx < len(workload) and workload[idx].submit_step <= engine.stats.engine_steps:
+            engine.submit(workload[idx].request, priority=workload[idx].priority)
+            idx += 1
+        decoding_before = engine.num_active
+        prefilled_before = engine.stats.prefilled_tokens
+        engine.step()
+        token_clock.append(engine.stats.prefilled_tokens + engine.stats.decoded_tokens)
+        prefill_delta = engine.stats.prefilled_tokens - prefilled_before
+        if decoding_before > 0:
+            max_prefill_per_iteration = max(max_prefill_per_iteration, prefill_delta)
+            if prefill_delta > stall_page_tokens:
+                stall_iterations += 1
+    elapsed = time.perf_counter() - start
+
+    latencies = [engine.latency(item_id) for item_id in range(len(workload))]
+    short = [
+        lat
+        for lat, item in zip(latencies, workload)
+        if len(item.request.prompt) < SHORT_PROMPT_TOKENS
+    ]
+
+    def pct(values: List[int], q: float) -> float:
+        return float(np.percentile(np.asarray(values, dtype=np.float64), q))
+
+    def token_time(lat) -> int:
+        return token_clock[lat.first_token_step] - token_clock[lat.submitted_step]
+
+    ttft = [lat.ttft_iterations for lat in latencies]
+    wait = [lat.queue_wait_iterations for lat in latencies]
+    ttft_short = [lat.ttft_iterations for lat in short]
+    ttft_tok = [token_time(lat) for lat in latencies]
+    ttft_tok_short = [token_time(lat) for lat in short]
+    metrics = {
+        "ttft_p50_iters": pct(ttft, 50),
+        "ttft_p99_iters": pct(ttft, 99),
+        "ttft_short_p50_iters": pct(ttft_short, 50),
+        "ttft_short_p99_iters": pct(ttft_short, 99),
+        "ttft_p50_tokens": pct(ttft_tok, 50),
+        "ttft_p99_tokens": pct(ttft_tok, 99),
+        "ttft_short_p50_tokens": pct(ttft_tok_short, 50),
+        "ttft_short_p99_tokens": pct(ttft_tok_short, 99),
+        "queue_wait_p50_iters": pct(wait, 50),
+        "queue_wait_p99_iters": pct(wait, 99),
+        "decode_stall_iterations": stall_iterations,
+        "max_prefill_tokens_per_iteration": max_prefill_per_iteration,
+        "engine_steps": engine.stats.engine_steps,
+    }
+    return {
+        "metrics": metrics,
+        "wallclock_tokens_per_sec": engine.stats.decoded_tokens / elapsed,
+        "admission_trace": [
+            (lat.request_id, lat.admitted_step, lat.first_token_step)
+            for lat in latencies
+        ],
+    }
+
+
+def _policies() -> Dict[str, object]:
+    return {
+        "fifo": FIFOScheduler(),
+        "priority": PriorityScheduler(),
+        "paged": PagedScheduler(page_tokens=PAGE_TOKENS),
+    }
+
+
+def bench_scheduler(modes: Dict[str, int], seed: int = WORKLOAD_SEED) -> Dict[str, object]:
+    """Run every policy over every mode's workload size.
+
+    ``modes`` maps a mode name (``"smoke"``, ``"full"``) to its request count;
+    the committed JSON carries both modes so the CI smoke run can be compared
+    exactly against its committed counterpart.
+    """
+    model = Mamba2Model.from_config(get_preset("mamba2-tiny"), InitConfig(seed=0))
+    results: Dict[str, object] = {
+        "benchmark": "scheduler",
+        "seed": seed,
+        "max_batch_size": MAX_BATCH_SIZE,
+        "page_tokens": PAGE_TOKENS,
+        "short_prompt_tokens": SHORT_PROMPT_TOKENS,
+        "modes": {},
+    }
+    for mode, n_requests in modes.items():
+        workload = make_workload(model.config.vocab_size, n_requests, seed=seed)
+        policies = {}
+        for name, scheduler in _policies().items():
+            run = run_policy(model, scheduler, workload)
+            policies[name] = {
+                "metrics": run["metrics"],
+                "wallclock_tokens_per_sec": run["wallclock_tokens_per_sec"],
+            }
+        results["modes"][mode] = {"n_requests": n_requests, "policies": policies}
+    return results
+
+
+def format_results(results) -> str:
+    blocks = []
+    for mode, payload in results["modes"].items():
+        rows = []
+        for policy, entry in payload["policies"].items():
+            row = {"policy": policy}
+            row.update(entry["metrics"])
+            row["tok/s (wallclock)"] = entry["wallclock_tokens_per_sec"]
+            rows.append(row)
+        blocks.append(
+            format_rows(
+                rows,
+                title=(
+                    f"Scheduler policies, {mode} workload "
+                    f"({payload['n_requests']} requests, seed {results['seed']}, "
+                    f"page {results['page_tokens']} tokens, "
+                    f"{results['max_batch_size']} slots)"
+                ),
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def write_json(results, path) -> None:
+    Path(path).write_text(json.dumps(results, indent=2) + "\n")
+
+
+def test_scheduler_policies(benchmark, save_output):
+    results = benchmark.pedantic(
+        lambda: bench_scheduler({"smoke": 12, "full": 48}), rounds=1, iterations=1
+    )
+    text = format_results(results)
+    save_output("scheduler_policies", text)
+    write_json(results, Path(__file__).parent.parent / "BENCH_scheduler.json")
+
+    full = results["modes"]["full"]["policies"]
+    # The paged ledger bounds per-iteration prompt work to the page, so it
+    # never stalls a running decode; unbounded FIFO admission does.
+    assert full["paged"]["metrics"]["decode_stall_iterations"] == 0
+    assert full["paged"]["metrics"]["max_prefill_tokens_per_iteration"] <= PAGE_TOKENS
+    assert full["fifo"]["metrics"]["decode_stall_iterations"] > 0
+    # Priorities front-run the long batch prompts: the short (interactive)
+    # class sees no worse tail latency than arrival-order admission.
+    assert (
+        full["priority"]["metrics"]["ttft_short_p99_iters"]
+        <= full["fifo"]["metrics"]["ttft_short_p99_iters"]
+    )
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="quick CI mode: smoke workload only, no acceptance assertions",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).parent.parent / "BENCH_scheduler.json",
+        help="where to write the JSON record",
+    )
+    args = parser.parse_args()
+
+    modes = {"smoke": 12} if args.smoke else {"smoke": 12, "full": 48}
+    results = bench_scheduler(modes)
+    print(format_results(results))
+    # Smoke runs keep their artifacts next to their JSON (benchmarks/output/
+    # fresh/ in CI) so they never clobber the committed full-run records.
+    out_dir = args.output.parent if args.smoke else Path(__file__).parent / "output"
+    out_dir.mkdir(parents=True, exist_ok=True)
+    (out_dir / "scheduler_policies.txt").write_text(format_results(results) + "\n")
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    write_json(results, args.output)
+    print(f"[saved to {args.output}]")

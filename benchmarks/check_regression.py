@@ -1,0 +1,157 @@
+"""CI benchmark-regression gate.
+
+Compares a fresh ``--smoke`` benchmark run against the committed repo-root
+``BENCH_*.json`` records and exits non-zero when a metric regresses by more
+than the threshold (default 30%).  Wired into ``.github/workflows/ci.yml``
+after the smoke benchmark steps, so a PR that slows a serving hot path fails
+its checks instead of silently eroding the committed trajectory.
+
+What is compared -- only machine-portable quantities, so the gate is
+meaningful on any CI runner:
+
+- ``BENCH_prefill.json`` / ``BENCH_quant_prefill.json``: speedup ratios
+  (chunked over sequential at equal sequence length -- a ratio, so the
+  runner's absolute speed divides out).  When both records carry a
+  ``smoke_speedup`` section (the committed full runs store one precisely for
+  this), those like-shaped measurements are compared -- warmup order biases
+  the sequential baseline, so a smoke run is only comparable to another
+  smoke-shaped run; otherwise the ``speedup`` sections are compared at their
+  shared sequence lengths.  Higher is better; the fresh value must stay
+  above ``committed * (1 - threshold)``.
+- ``BENCH_scheduler.json``: the per-policy ``metrics`` sections of the modes
+  both records carry (the committed file stores the ``smoke`` workload next
+  to ``full`` for exactly this reason).  These are iteration-space scheduler
+  metrics -- fully deterministic given the workload seed -- so any drift at
+  all means behavior changed; the gate still allows the threshold, but a
+  green run normally matches exactly.  Lower is better; the fresh value must
+  stay below ``committed * (1 + threshold)`` (+1 absolute slack for
+  near-zero counters).  Wall-clock throughput entries are ignored.
+
+Run locally::
+
+    PYTHONPATH=src python benchmarks/bench_prefill_throughput.py --smoke \
+        --output benchmarks/output/fresh/BENCH_prefill.json
+    PYTHONPATH=src python benchmarks/bench_quant_prefill.py --smoke \
+        --output benchmarks/output/fresh/BENCH_quant_prefill.json
+    PYTHONPATH=src python benchmarks/bench_scheduler.py --smoke \
+        --output benchmarks/output/fresh/BENCH_scheduler.json
+    python benchmarks/check_regression.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_FRESH_DIR = REPO_ROOT / "benchmarks" / "output" / "fresh"
+CANONICAL = ("BENCH_prefill.json", "BENCH_quant_prefill.json", "BENCH_scheduler.json")
+
+
+def compare_speedups(name: str, committed: dict, fresh: dict, threshold: float) -> List[str]:
+    """Higher-is-better speedup ratios at the x-keys both runs measured."""
+    section = (
+        "smoke_speedup"
+        if "smoke_speedup" in committed and "smoke_speedup" in fresh
+        else "speedup"
+    )
+    failures = []
+    for metric, committed_points in committed.get(section, {}).items():
+        fresh_points = fresh.get(section, {}).get(metric, {})
+        for key, committed_value in committed_points.items():
+            if key not in fresh_points:
+                continue
+            floor = committed_value * (1.0 - threshold)
+            if fresh_points[key] < floor:
+                failures.append(
+                    f"{name}: {section}[{metric!r}][{key}] regressed: "
+                    f"{fresh_points[key]:.3f} < {floor:.3f} "
+                    f"(committed {committed_value:.3f}, threshold {threshold:.0%})"
+                )
+    return failures
+
+
+def compare_scheduler_metrics(
+    name: str, committed: dict, fresh: dict, threshold: float
+) -> List[str]:
+    """Lower-is-better deterministic scheduler metrics, per shared mode/policy."""
+    failures = []
+    for mode, committed_mode in committed.get("modes", {}).items():
+        fresh_mode = fresh.get("modes", {}).get(mode)
+        if fresh_mode is None:
+            continue
+        for policy, committed_entry in committed_mode.get("policies", {}).items():
+            fresh_metrics = (
+                fresh_mode.get("policies", {}).get(policy, {}).get("metrics", {})
+            )
+            for metric, committed_value in committed_entry.get("metrics", {}).items():
+                if metric not in fresh_metrics:
+                    continue
+                ceiling = committed_value * (1.0 + threshold) + 1.0
+                if fresh_metrics[metric] > ceiling:
+                    failures.append(
+                        f"{name}: modes[{mode!r}][{policy!r}].{metric} regressed: "
+                        f"{fresh_metrics[metric]:.3f} > {ceiling:.3f} "
+                        f"(committed {committed_value:.3f}, threshold {threshold:.0%})"
+                    )
+    return failures
+
+
+def check_pair(committed_path: Path, fresh_path: Path, threshold: float) -> List[str]:
+    if not committed_path.exists():
+        return [f"missing committed baseline: {committed_path}"]
+    if not fresh_path.exists():
+        return [f"missing fresh benchmark record: {fresh_path} (did the smoke step run?)"]
+    committed = json.loads(committed_path.read_text())
+    fresh = json.loads(fresh_path.read_text())
+    failures = compare_speedups(committed_path.name, committed, fresh, threshold)
+    failures += compare_scheduler_metrics(committed_path.name, committed, fresh, threshold)
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument(
+        "--fresh-dir",
+        type=Path,
+        default=DEFAULT_FRESH_DIR,
+        help="directory holding the fresh smoke-run BENCH_*.json records",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.30,
+        help="allowed fractional regression before the gate fails (default 0.30)",
+    )
+    parser.add_argument(
+        "--baseline-dir",
+        type=Path,
+        default=REPO_ROOT,
+        help="directory holding the committed BENCH_*.json baselines",
+    )
+    args = parser.parse_args(argv)
+
+    failures: List[str] = []
+    compared = 0
+    for name in CANONICAL:
+        pair_failures = check_pair(
+            args.baseline_dir / name, args.fresh_dir / name, args.threshold
+        )
+        failures.extend(pair_failures)
+        if not pair_failures:
+            compared += 1
+            print(f"ok: {name} within {args.threshold:.0%} of the committed baseline")
+    if failures:
+        print(f"\nBENCHMARK REGRESSION GATE FAILED ({len(failures)} finding(s)):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"\nbenchmark regression gate passed ({compared} records checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

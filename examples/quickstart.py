@@ -14,7 +14,6 @@ Run with:  python examples/quickstart.py
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.core import CoDesignConfig, LightMambaPipeline
 from repro.eval import ZipfCorpusGenerator, mean_kl_divergence, top1_agreement

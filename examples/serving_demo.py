@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Serving demo: batched generation and continuous batching.
+"""Serving demo: batched generation, continuous batching, and scheduling.
 
 This example exercises the ``repro.serving`` subsystem:
 
@@ -7,9 +7,14 @@ This example exercises the ``repro.serving`` subsystem:
    (greedy and sampled) and verify the results are identical to per-request
    single-sequence decoding;
 2. serve a stream of requests through the continuous-batching
-   ``InferenceEngine`` with fewer batch slots than requests, and show the
-   batching efficiency counters;
-3. compare wall-clock throughput of the batched path against looping the
+   ``InferenceEngine`` with fewer batch slots than requests, streaming the
+   first request's tokens as they are generated and showing the batching
+   efficiency counters plus per-request latency records;
+3. contrast the admission policies: priorities (a late urgent request
+   front-runs the queue), a paged token-budget ledger (a long prompt cannot
+   stall in-flight decodes by more than one page), cancellation, and
+   deadlines;
+4. compare wall-clock throughput of the batched path against looping the
    single-sequence decoder.
 
 Run with:  python examples/serving_demo.py
@@ -22,7 +27,13 @@ import time
 import numpy as np
 
 from repro.mamba import ByteTokenizer, InitConfig, Mamba2Model, get_preset, greedy_decode
-from repro.serving import BatchedGenerator, InferenceEngine, Request
+from repro.serving import (
+    BatchedGenerator,
+    InferenceEngine,
+    PagedScheduler,
+    PriorityScheduler,
+    Request,
+)
 
 
 def main() -> None:
@@ -55,7 +66,7 @@ def main() -> None:
               f"(mean logprob {np.mean(result.logprobs):.2f})")
 
     # ------------------------------------------------------------------
-    # 2. Continuous batching: 8 requests through 3 slots.
+    # 2. Continuous batching: 8 requests through 3 slots, streamed.
     # ------------------------------------------------------------------
     engine = InferenceEngine(model, max_batch_size=3)
     rng = np.random.default_rng(0)
@@ -64,19 +75,78 @@ def main() -> None:
         engine.submit(
             Request(prompt=tuple(prompt), max_new_tokens=int(rng.integers(4, 14)))
         )
-    completions = engine.run()
+    streamed = []
+    completions = engine.run(
+        on_token=lambda rid, tok, lp: streamed.append(tok) if rid == 0 else None
+    )
     stats = engine.stats
     print(f"\ncontinuous batching: {stats.completed} requests through "
           f"{engine.max_batch_size} slots in {stats.engine_steps} engine steps")
     print(f"  decode calls           : {stats.decode_calls}")
     print(f"  tokens per decode call : {stats.tokens_per_decode_call:.2f} "
           f"(batching efficiency)")
+    print(f"  request 0 streamed     : {tokenizer.decode(streamed)!r} "
+          f"(token-by-token, via on_token)")
     for completion in completions[:3]:
+        lat = completion.latency
         print(f"  request {completion.request_id}: "
-              f"{tokenizer.decode(completion.result.tokens)!r}")
+              f"{tokenizer.decode(completion.result.tokens)!r} "
+              f"[{completion.finish_reason}; waited {lat.queue_wait_iterations} iters, "
+              f"ttft {lat.ttft_iterations} iters, {lat.decode_iterations} decode iters]")
 
     # ------------------------------------------------------------------
-    # 3. Throughput: batched vs looping the single-sequence decoder.
+    # 3. Admission policies: priority, paged budget, cancel, deadline.
+    # ------------------------------------------------------------------
+    print("\npriority scheduling (1 slot, urgent request front-runs the queue):")
+    engine = InferenceEngine(model, max_batch_size=1, scheduler=PriorityScheduler())
+    running = engine.submit(Request(prompt=tuple(tokenizer.encode("running ")),
+                                    max_new_tokens=6))
+    engine.step()
+    batch_id = engine.submit(Request(prompt=tuple(tokenizer.encode("batch job ")),
+                                     max_new_tokens=4), priority=0)
+    urgent_id = engine.submit(Request(prompt=tuple(tokenizer.encode("URGENT ")),
+                                      max_new_tokens=4), priority=10)
+    engine.run()
+    order = sorted((running, batch_id, urgent_id),
+                   key=lambda rid: engine.latency(rid).first_token_step)
+    names = {running: "running", batch_id: "batch(prio 0)", urgent_id: "urgent(prio 10)"}
+    print("  first-token order      : " + " -> ".join(names[rid] for rid in order))
+
+    print("\npaged admission (page = 16 tokens: a 160-token prompt cannot stall decodes):")
+    engine = InferenceEngine(model, max_batch_size=2,
+                             scheduler=PagedScheduler(page_tokens=16))
+    engine.submit(Request(prompt=tuple(tokenizer.encode("interactive ")),
+                          max_new_tokens=12))
+    engine.step()
+    long_prompt = tuple(tokenizer.encode("x" * 160))
+    engine.submit(Request(prompt=long_prompt, max_new_tokens=2))
+    max_prefill_per_step = 0
+    while engine.has_work:
+        before = engine.stats.prefilled_tokens
+        engine.step()
+        max_prefill_per_step = max(
+            max_prefill_per_step, engine.stats.prefilled_tokens - before
+        )
+    print(f"  longest prompt chunk in one iteration: {max_prefill_per_step} tokens "
+          f"(bounded by the page)")
+
+    print("\ncancellation and deadlines:")
+    engine = InferenceEngine(model, max_batch_size=1)
+    busy = engine.submit(Request(prompt=tuple(tokenizer.encode("busy ")),
+                                 max_new_tokens=10))
+    engine.step()
+    doomed = engine.submit(Request(prompt=tuple(tokenizer.encode("never runs ")),
+                                   max_new_tokens=5), timeout=0.0)
+    unwanted = engine.submit(Request(prompt=tuple(tokenizer.encode("cancel me ")),
+                                     max_new_tokens=5))
+    engine.cancel(unwanted)
+    done = {c.request_id: c.finish_reason for c in engine.run()}
+    print(f"  busy request           : {done[busy]}")
+    print(f"  zero-timeout request   : {done[doomed]}")
+    print(f"  cancelled request      : {done[unwanted]}")
+
+    # ------------------------------------------------------------------
+    # 4. Throughput: batched vs looping the single-sequence decoder.
     # ------------------------------------------------------------------
     bench_prompts = [tokenizer.encode("throughput %d" % i) for i in range(8)]
     start = time.perf_counter()

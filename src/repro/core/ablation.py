@@ -19,7 +19,7 @@ the reference setup and is therefore optional.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.hardware.accelerator import AcceleratorConfig, LightMambaAccelerator

@@ -28,7 +28,7 @@ continuations, many-way LAMBADA-style next-token prediction).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np

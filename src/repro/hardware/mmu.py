@@ -13,7 +13,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.hardware.dsp import dsp_packing_factor, dsps_for_macs
+from repro.hardware.dsp import dsps_for_macs
 from repro.hardware.resources import ResourceUsage
 
 __all__ = ["MMUConfig", "MatrixMultiplyUnit"]

@@ -21,7 +21,6 @@ used to prefetch the output-projection (and next-layer) weights.
 from __future__ import annotations
 
 import enum
-import math
 from dataclasses import dataclass, field
 from typing import Dict
 

@@ -27,7 +27,6 @@ from repro.hardware.emu import (
     DEFAULT_SSM_PARALLELISM,
     EMUConfig,
     ElementwiseMultiplyUnit,
-    SSM_OPERATOR_SHAPES,
 )
 from repro.hardware.memory import BufferAllocation, OnChipBufferModel
 from repro.hardware.pipeline import LinearPipeline, PipelineStage

@@ -9,7 +9,7 @@ examples and algorithm-level benchmarks.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict
 
 __all__ = ["Mamba2Config", "MODEL_PRESETS", "get_preset"]

@@ -14,7 +14,7 @@ RMSNorm and the LM head (tied to the embedding by default).  It supports:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 import numpy as np

@@ -12,7 +12,7 @@ Two variants are used in Mamba2 (Fig. 1 of the paper):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

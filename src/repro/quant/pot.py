@@ -16,7 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.quant.dtypes import Granularity, IntSpec
-from repro.quant.quantizer import QuantizerConfig, quantize, quantize_dequantize
+from repro.quant.quantizer import QuantizerConfig, quantize_dequantize
 
 __all__ = [
     "pot_quantize_scale",

@@ -17,8 +17,7 @@ round-trip used to simulate quantized inference in floating point).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
 
 import numpy as np
 

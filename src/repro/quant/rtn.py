@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.quant.dtypes import Granularity, IntSpec, INT4, INT8
+from repro.quant.dtypes import Granularity, IntSpec
 from repro.quant.quantizer import QuantizerConfig, quantize_dequantize
 
 __all__ = [

@@ -8,16 +8,26 @@ This package provides the two serving front-ends built on that property:
 
 - :class:`~repro.serving.generator.BatchedGenerator` -- decode a *fixed* set
   of requests together (vectorized greedy and temperature/top-k sampling,
-  ragged prompts, per-request stop tokens and length budgets).
+  ragged prompts, per-request stop tokens and length budgets, optional token
+  streaming).
 - :class:`~repro.serving.engine.InferenceEngine` -- *continuous batching* over
-  a request stream: queued requests are admitted into a fixed pool of batch
-  slots as earlier requests retire, so the batch stays full under load.
+  a request stream: an async-capable :class:`~repro.serving.queue.RequestQueue`
+  (injected clock, priorities, deadlines, cancellation) feeds a pluggable
+  admission :class:`~repro.serving.scheduler.Scheduler` --
+  :class:`~repro.serving.scheduler.FIFOScheduler` (default, the historical
+  behavior), :class:`~repro.serving.scheduler.PriorityScheduler`, or the
+  token-budget :class:`~repro.serving.scheduler.PagedScheduler` that
+  interleaves chunked-prefill pages with in-flight decode -- and the engine
+  emits per-request :class:`~repro.serving.engine.RequestLatency` stats,
+  supports ``cancel(request_id)``, and streams tokens through an ``on_token``
+  callback.
 
-Both reproduce the single-sequence decoders in
+Both front-ends reproduce the single-sequence decoders in
 :mod:`repro.mamba.generation` request for request: token selection shares the
 exact same arithmetic, and the model math is numerically equivalent to 1e-10
 (batched BLAS kernels may round differently in the last bits, so a token
-choice could in principle flip at an exact logit tie).
+choice could in principle flip at an exact logit tie).  Scheduling policy
+changes *when* work runs, never *what* it produces.
 
 Example
 -------
@@ -34,15 +44,45 @@ Example
 >>> completions = engine.run()
 >>> [c.request_id for c in completions]
 [0, 1]
+>>> [c.finish_reason for c in completions]
+['length', 'length']
 """
 
-from repro.serving.engine import Completion, EngineStats, InferenceEngine, Request
+from repro.serving.engine import (
+    Completion,
+    EngineStats,
+    InferenceEngine,
+    Request,
+    RequestLatency,
+)
 from repro.serving.generator import BatchedGenerator
+from repro.serving.queue import QueueEntry, RequestQueue
+from repro.serving.scheduler import (
+    AdmissionPlan,
+    FIFOScheduler,
+    PagedScheduler,
+    PrefillView,
+    PriorityScheduler,
+    Scheduler,
+    SchedulerContext,
+    TokenLedger,
+)
 
 __all__ = [
+    "AdmissionPlan",
     "BatchedGenerator",
-    "InferenceEngine",
-    "Request",
     "Completion",
     "EngineStats",
+    "FIFOScheduler",
+    "InferenceEngine",
+    "PagedScheduler",
+    "PrefillView",
+    "PriorityScheduler",
+    "QueueEntry",
+    "Request",
+    "RequestLatency",
+    "RequestQueue",
+    "Scheduler",
+    "SchedulerContext",
+    "TokenLedger",
 ]

@@ -1,32 +1,42 @@
-"""Continuous-batching inference engine.
+"""Continuous-batching inference engine with pluggable admission scheduling.
 
 :class:`InferenceEngine` serves a *stream* of generation requests with a
-fixed-size pool of batch slots.  Each engine step (i) admits queued requests
-into free slots (prefilling their prompts with the chunked scan -- the
-quantized chunk-parallel scan for lightmamba* models -- and scattering the
-resulting recurrent state into the slot), (ii) advances every
-active slot by one decode token in a single batched model call, and (iii)
-retires requests that hit their stop token or length budget, freeing their
-slots for the next waiting request.  Because the Mamba recurrent cache is
+fixed-size pool of batch slots.  Each engine step (i) applies the
+:class:`~repro.serving.scheduler.Scheduler`'s admission plan -- resuming
+in-flight chunked prefills, admitting waiting requests from the
+:class:`~repro.serving.queue.RequestQueue` into free slots (prefilling their
+prompts with the chunked scan -- the quantized chunk-parallel scan for
+lightmamba* models -- and scattering the resulting recurrent state into the
+slot), and, if the policy says so, preempting an in-flight prefill back to the
+queue -- then (ii) advances every fully-prefilled slot by one decode token in a
+single batched model call, and (iii) retires requests that hit their stop token
+or length budget, freeing their slots.  Because the Mamba recurrent cache is
 fixed-size, admission and eviction are plain ``gather`` / ``scatter`` row
 operations on the batched cache -- no paged KV allocator is needed.
 
-With ``prefill_chunk_tokens`` set, admission is *chunked*: each engine
-iteration consumes at most that many prompt tokens, carrying partially
-prefilled prompts across iterations in their reserved slot, so a very long
-prompt interleaves with -- instead of stalling -- the in-flight decodes.
-
-Request results are independent of scheduling: every request reproduces what
+Scheduling is policy, results are not: every request reproduces what
 :func:`~repro.mamba.generation.greedy_decode` (or ``sample_decode`` with the
 request's seed) would produce on its own, no matter which other requests it
-shared batches with.
+shared batches with or which scheduler ordered the admissions.  The default
+:class:`~repro.serving.scheduler.FIFOScheduler` additionally reproduces the
+pre-scheduler engine's *behavior* bit-for-bit (same prefill segmentation, same
+admission order, same stats).
+
+Beyond admission policy the engine provides the serving-layer plumbing the
+policies need to be useful: per-request latency accounting
+(:class:`RequestLatency`: queue wait, time-to-first-token and decode duration
+in engine iterations, wall-clock arrival/admission stamps from the queue's
+injected clock), :meth:`InferenceEngine.cancel` for waiting *and* in-flight
+requests, per-request admission deadlines (expired requests retire with
+``finish_reason="expired"``), and a streaming ``on_token`` callback fired for
+every generated token as it is selected.
 """
 
 from __future__ import annotations
 
-from collections import deque
+import threading
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -34,8 +44,28 @@ from repro.mamba.cache import InferenceCache
 from repro.mamba.generation import GenerationResult
 from repro.mamba.model import Mamba2Model
 from repro.mamba.sampling import greedy_select, sample_select
+from repro.serving.queue import Clock, QueueEntry, RequestQueue
+from repro.serving.scheduler import (
+    AdmissionPlan,
+    FIFOScheduler,
+    PrefillView,
+    Scheduler,
+    SchedulerContext,
+)
 
-__all__ = ["Request", "Completion", "EngineStats", "InferenceEngine"]
+__all__ = [
+    "Completion",
+    "EngineStats",
+    "InferenceEngine",
+    "Request",
+    "RequestLatency",
+    "TokenCallback",
+]
+
+#: Streaming callback: ``on_token(request_id, token, logprob)`` is invoked for
+#: every generated token the moment it is selected, before the request
+#: completes -- the serving layer's token-streaming hook.
+TokenCallback = Callable[[int, int, float], None]
 
 
 @dataclass(frozen=True)
@@ -71,13 +101,57 @@ class Request:
             raise ValueError("top_k must be positive when given")
 
 
+@dataclass
+class RequestLatency:
+    """Per-request latency record, in engine iterations and wall-clock time.
+
+    Iteration counts are deterministic (they depend only on the workload and
+    the scheduling policy, not the machine); wall-clock stamps come from the
+    queue's injected clock.  ``None`` step fields mean the event has not
+    happened (yet).
+    """
+
+    request_id: int
+    submitted_step: int
+    submitted_at: float
+    admitted_step: Optional[int] = None
+    admitted_at: Optional[float] = None
+    first_token_step: Optional[int] = None
+    finished_step: Optional[int] = None
+    decode_iterations: int = 0
+    finish_reason: Optional[str] = None
+
+    @property
+    def queue_wait_iterations(self) -> Optional[int]:
+        """Full engine iterations spent waiting before first prompt work."""
+        if self.admitted_step is None:
+            return None
+        return self.admitted_step - self.submitted_step - 1
+
+    @property
+    def ttft_iterations(self) -> Optional[int]:
+        """Engine iterations from submission to the first generated token."""
+        if self.first_token_step is None:
+            return None
+        return self.first_token_step - self.submitted_step - 1
+
+
 @dataclass(frozen=True)
 class Completion:
-    """A finished request: its id, the request, and the generation result."""
+    """A finished request: its id, the request, result, and why it finished.
+
+    ``finish_reason`` is one of ``"stop"`` (stop token), ``"length"`` (token
+    budget, including zero-budget requests), ``"cancelled"``
+    (:meth:`InferenceEngine.cancel`) or ``"expired"`` (admission deadline
+    passed while waiting).  ``latency`` is the request's
+    :class:`RequestLatency` record.
+    """
 
     request_id: int
     request: Request
     result: GenerationResult
+    finish_reason: str = "stop"
+    latency: Optional[RequestLatency] = None
 
 
 @dataclass
@@ -86,6 +160,9 @@ class EngineStats:
 
     admitted: int = 0
     completed: int = 0
+    cancelled: int = 0
+    expired: int = 0
+    preempted: int = 0
     engine_steps: int = 0
     decode_calls: int = 0
     decode_call_rows: int = 0
@@ -99,7 +176,9 @@ class EngineStats:
 
         Counts only rows actually advanced by batched decode calls; each
         request's first token comes from its prefill logits and is excluded,
-        so this never exceeds the slot count.
+        so this never exceeds the slot count.  An engine that never issued a
+        decode call (nothing admitted, or only zero-budget requests) reports
+        0.0 rather than dividing by zero.
         """
         return self.decode_call_rows / self.decode_calls if self.decode_calls else 0.0
 
@@ -122,13 +201,22 @@ class _PrefillProgress:
     The slot is reserved but does not decode until the prompt is fully
     consumed; ``cache`` carries the exact recurrent state after ``pos``
     prompt tokens (the conv window continuation makes segment boundaries
-    invisible to the math).
+    invisible to the math).  ``entry`` keeps the queue metadata (priority,
+    arrival order) so the scheduler can reason about in-flight prefills and a
+    preempted request re-enters the queue in its original position.
     """
 
-    request_id: int
-    request: Request
+    entry: QueueEntry
     cache: InferenceCache
     pos: int = 0
+
+    @property
+    def request_id(self) -> int:
+        return self.entry.request_id
+
+    @property
+    def request(self) -> Request:
+        return self.entry.request
 
 
 class InferenceEngine:
@@ -144,21 +232,30 @@ class InferenceEngine:
         Base seed for sampled requests that do not carry their own ``seed``
         (request ``i`` then uses ``seed + i``).
     prefill_chunk_tokens:
-        Optional bound on how many *prompt* tokens the engine processes per
-        iteration (chunked-prefill admission).  A long prompt is then
-        prefilled across several engine steps -- its slot is reserved but
-        in-flight decodes keep advancing every step, so one huge prompt can
-        no longer stall the running batch.  ``None`` (default) prefills each
-        admitted prompt in full at admission time.  For FP models chunked
-        admission is exact regardless of the segment size.  For a quantized
-        chunk-parallel model (lightmamba*), segmentation that lands on the
-        model's ``chunk_size`` boundaries is bit-exact with a one-shot
-        prefill (the PoT state re-quantization is idempotent on chunk-aligned
-        states); a chunk-aligned budget keeps a request's segments aligned
-        *when it has the iteration's budget to itself*, but leftover budget
-        shared with another request in the same iteration can still produce
-        an unaligned segment, which shifts that prompt's state-quantization
-        points by quantization-noise scale (an approximation, not an error).
+        Back-compat shorthand for ``scheduler=FIFOScheduler(prefill_chunk_tokens=...)``:
+        bounds how many *prompt* tokens the engine processes per iteration
+        (chunked-prefill admission).  A long prompt is then prefilled across
+        several engine steps -- its slot is reserved but in-flight decodes
+        keep advancing every step, so one huge prompt can no longer stall the
+        running batch.  ``None`` (default) prefills each admitted prompt in
+        full at admission time.  For FP models chunked admission is exact
+        regardless of the segment size.  For a quantized chunk-parallel model
+        (lightmamba*), segmentation that lands on the model's ``chunk_size``
+        boundaries is bit-exact with a one-shot prefill (the PoT state
+        re-quantization is idempotent on chunk-aligned states); a
+        chunk-aligned budget keeps a request's segments aligned *when it has
+        the iteration's budget to itself*, but leftover budget shared with
+        another request in the same iteration can still produce an unaligned
+        segment, which shifts that prompt's state-quantization points by
+        quantization-noise scale (an approximation, not an error).
+    scheduler:
+        The admission policy (see :mod:`repro.serving.scheduler`).  Defaults
+        to :class:`~repro.serving.scheduler.FIFOScheduler`, which reproduces
+        the pre-scheduler engine bit-for-bit.  Mutually exclusive with
+        ``prefill_chunk_tokens``.
+    clock:
+        Time source for the request queue (arrival stamps, deadlines).
+        Defaults to :func:`time.monotonic`; tests inject a fake clock.
     """
 
     def __init__(
@@ -167,43 +264,152 @@ class InferenceEngine:
         max_batch_size: int = 8,
         seed: int = 0,
         prefill_chunk_tokens: Optional[int] = None,
+        scheduler: Optional[Scheduler] = None,
+        clock: Optional[Clock] = None,
     ):
         if max_batch_size <= 0:
             raise ValueError("max_batch_size must be positive")
-        if prefill_chunk_tokens is not None and prefill_chunk_tokens <= 0:
-            raise ValueError("prefill_chunk_tokens must be positive (or None)")
+        if scheduler is not None and prefill_chunk_tokens is not None:
+            raise ValueError("pass prefill_chunk_tokens or scheduler, not both")
         self.model = model
         self.max_batch_size = max_batch_size
         self.seed = seed
-        self.prefill_chunk_tokens = prefill_chunk_tokens
+        self.scheduler: Scheduler = (
+            scheduler
+            if scheduler is not None
+            else FIFOScheduler(prefill_chunk_tokens=prefill_chunk_tokens)
+        )
         self.stats = EngineStats()
-        self._queue: Deque[Tuple[int, Request]] = deque()
+        self.queue = RequestQueue() if clock is None else RequestQueue(clock=clock)
+        self._submit_lock = threading.Lock()
         self._next_id = 0
         self._slots: List[Optional[_Slot]] = [None] * max_batch_size
         self._prefilling: Dict[int, _PrefillProgress] = {}
+        self._parked: Dict[int, _PrefillProgress] = {}
+        self._latency: Dict[int, RequestLatency] = {}
+        self._pending_completions: List[Completion] = []
         self._cache = InferenceCache.zeros(model.config, batch_size=max_batch_size)
         self._pending_logits = np.zeros(
             (max_batch_size, model.config.vocab_size), dtype=np.float64
         )
 
+    @property
+    def prefill_chunk_tokens(self) -> Optional[int]:
+        """The FIFO policy's chunk budget, if the scheduler has one."""
+        return getattr(self.scheduler, "prefill_chunk_tokens", None)
+
     # ------------------------------------------------------------------
     # Request lifecycle
     # ------------------------------------------------------------------
-    def submit(self, request: Request) -> int:
-        """Queue a request; returns its request id."""
+    def submit(
+        self,
+        request: Request,
+        *,
+        priority: int = 0,
+        deadline: Optional[float] = None,
+        timeout: Optional[float] = None,
+    ) -> int:
+        """Queue a request; returns its request id.
+
+        ``priority`` (higher = more urgent) is acted on by priority-aware
+        schedulers and ignored by FIFO.  ``deadline`` is an absolute queue-clock
+        time by which the request must be *admitted*; ``timeout`` is the same
+        expressed relative to now.  A request still waiting past its deadline
+        retires with ``finish_reason="expired"`` instead of running.
+
+        ``submit`` is thread-safe (producers may call it from other threads,
+        matching the queue's contract); :meth:`step` and :meth:`cancel` belong
+        to the single consumer thread driving the engine.
+        """
         vocab = self.model.config.vocab_size
         if min(request.prompt) < 0 or max(request.prompt) >= vocab:
             # Validate before allocating the id, so a rejected submit does not
             # shift the default per-request sampling seeds (seed + request_id).
             raise ValueError("prompt token id out of range")
-        request_id = self._next_id
-        self._next_id += 1
-        self._queue.append((request_id, request))
+        if deadline is not None and timeout is not None:
+            raise ValueError("pass deadline or timeout, not both")
+        if timeout is not None:
+            if timeout < 0:
+                raise ValueError("timeout must be non-negative")
+            deadline = self.queue.clock() + timeout
+        with self._submit_lock:
+            request_id = self._next_id
+            self._next_id += 1
+            entry = self.queue.push(
+                request_id, request, priority=priority, deadline=deadline
+            )
+            self._latency[request_id] = RequestLatency(
+                request_id=request_id,
+                submitted_step=self.stats.engine_steps,
+                submitted_at=entry.arrival_time,
+            )
         return request_id
+
+    def cancel(self, request_id: int) -> bool:
+        """Cancel a waiting or in-flight request.
+
+        Returns ``True`` if the request was found (its ``"cancelled"``
+        completion -- with any tokens generated so far -- is delivered by the
+        next :meth:`step`), ``False`` if it is unknown or already finished.
+        Cancelling an in-flight request frees its slot immediately.
+        """
+        entry = self.queue.cancel(request_id)
+        if entry is not None:
+            # Waiting (possibly with parked preempted-prefill progress).
+            self._parked.pop(request_id, None)
+            self._finish(request_id, "cancelled")
+            self.stats.cancelled += 1
+            self._pending_completions.append(
+                self._completion(request_id, entry.request, [], [], "cancelled")
+            )
+            return True
+        for slot_idx, progress in list(self._prefilling.items()):
+            if progress.request_id == request_id:
+                del self._prefilling[slot_idx]
+                self._finish(request_id, "cancelled")
+                self.stats.cancelled += 1
+                self._pending_completions.append(
+                    self._completion(request_id, progress.request, [], [], "cancelled")
+                )
+                return True
+        for slot_idx, slot in enumerate(self._slots):
+            if slot is not None and slot.request_id == request_id:
+                self._slots[slot_idx] = None
+                self._finish(request_id, "cancelled")
+                self.stats.cancelled += 1
+                self._pending_completions.append(
+                    self._completion(
+                        request_id, slot.request, slot.tokens, slot.logprobs, "cancelled"
+                    )
+                )
+                return True
+        return False
+
+    def latency(self, request_id: int) -> RequestLatency:
+        """The latency record of a submitted request (any lifecycle stage)."""
+        return self._latency[request_id]
+
+    def clear_finished_latencies(self) -> int:
+        """Drop latency records of finished requests; returns how many.
+
+        Records accumulate for the engine's whole lifetime so that
+        :meth:`latency` works after completion (benchmarks and tests rely on
+        it); a long-running serving loop should call this periodically --
+        every completion already carries its own record
+        (:attr:`Completion.latency`), so nothing is lost.
+        """
+        finished = [
+            request_id
+            for request_id, record in self._latency.items()
+            if record.finished_step is not None
+        ]
+        for request_id in finished:
+            del self._latency[request_id]
+        return len(finished)
 
     @property
     def num_waiting(self) -> int:
-        return len(self._queue)
+        return len(self.queue)
 
     @property
     def num_active(self) -> int:
@@ -216,20 +422,33 @@ class InferenceEngine:
 
     @property
     def has_work(self) -> bool:
-        return self.num_waiting > 0 or self.num_active > 0 or self.num_prefilling > 0
+        return (
+            self.num_waiting > 0
+            or self.num_active > 0
+            or self.num_prefilling > 0
+            or bool(self._pending_completions)
+        )
 
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
-    def step(self) -> List[Completion]:
+    def step(self, on_token: Optional[TokenCallback] = None) -> List[Completion]:
         """Run one engine iteration; returns requests retired this step.
 
-        Admits queued requests into free slots, advances all active slots by
-        one token with a single batched decode call, and retires finished
-        requests.
+        Applies the scheduler's admission plan, advances all fully-prefilled
+        slots by one token with a single batched decode call, and retires
+        finished requests.  ``on_token`` (if given) is called as
+        ``on_token(request_id, token, logprob)`` for every token selected this
+        step, before its completion (if any) is returned -- the streaming hook.
         """
         self.stats.engine_steps += 1
-        completions: List[Completion] = self._admit()
+        completions: List[Completion] = []
+        if self._pending_completions:
+            completions.extend(self._pending_completions)
+            self._pending_completions.clear()
+        completions.extend(self._expire())
+        plan = self.scheduler.plan(self.queue.entries(), self._context())
+        completions.extend(self._apply_plan(plan))
         active = [i for i, slot in enumerate(self._slots) if slot is not None]
         if not active:
             return completions
@@ -238,20 +457,39 @@ class InferenceEngine:
         survivors: List[int] = []
         for row, slot_idx in enumerate(active):
             slot = self._slots[slot_idx]
+            if slot is None:
+                # Cancelled mid-step by an earlier slot's on_token callback;
+                # its cancelled completion is already pending.
+                continue
             token, logprob = self._select(slot, self._pending_logits[slot_idx])
             slot.tokens.append(token)
             slot.logprobs.append(logprob)
             chosen[row] = token
             self.stats.decoded_tokens += 1
+            latency = self._latency[slot.request_id]
+            if latency.first_token_step is None:
+                latency.first_token_step = self.stats.engine_steps
+            latency.decode_iterations += 1
+            if on_token is not None:
+                on_token(slot.request_id, token, logprob)
+                if self._slots[slot_idx] is not slot:
+                    # The callback cancelled this very request: its completion
+                    # (including the token just streamed) is already pending;
+                    # don't retire it twice or decode it further.
+                    continue
             request = slot.request
-            done = (
-                request.stop_token is not None and token == request.stop_token
-            ) or len(slot.tokens) >= request.max_new_tokens
+            stopped = request.stop_token is not None and token == request.stop_token
+            done = stopped or len(slot.tokens) >= request.max_new_tokens
             if done:
-                completions.append(self._retire(slot_idx))
+                completions.append(
+                    self._retire(slot_idx, "stop" if stopped else "length")
+                )
             else:
                 survivors.append(row)
 
+        # A later slot's on_token callback may have cancelled an earlier slot
+        # that was already recorded as a survivor; don't decode freed slots.
+        survivors = [row for row in survivors if self._slots[active[row]] is not None]
         if survivors:
             slot_indices = [active[row] for row in survivors]
             if len(slot_indices) == self.max_batch_size:
@@ -267,97 +505,142 @@ class InferenceEngine:
             self._pending_logits[slot_indices] = logits
         return completions
 
-    def run(self, requests: Optional[Sequence[Request]] = None) -> List[Completion]:
+    def run(
+        self,
+        requests: Optional[Sequence[Request]] = None,
+        *,
+        on_token: Optional[TokenCallback] = None,
+    ) -> List[Completion]:
         """Submit ``requests`` (if given) and step until the engine drains.
 
         Returns all completions produced during the drain, ordered by request
-        id.
+        id.  ``on_token`` streams every generated token (see :meth:`step`).
         """
         if requests is not None:
             for request in requests:
                 self.submit(request)
         completions: List[Completion] = []
         while self.has_work:
-            completions.extend(self.step())
+            completions.extend(self.step(on_token=on_token))
         return sorted(completions, key=lambda c: c.request_id)
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _admit(self) -> List[Completion]:
-        """Prefill queued requests into free slots (scatter admission).
+    def _context(self) -> SchedulerContext:
+        """The engine-state snapshot the scheduler plans against."""
+        free = tuple(
+            i
+            for i in range(self.max_batch_size)
+            if self._slots[i] is None and i not in self._prefilling
+        )
+        prefilling = tuple(
+            PrefillView(
+                slot=slot_idx,
+                request_id=progress.request_id,
+                remaining_tokens=len(progress.request.prompt) - progress.pos,
+                priority=progress.entry.priority,
+                arrival_seq=progress.entry.arrival_seq,
+            )
+            for slot_idx, progress in sorted(self._prefilling.items())
+        )
+        return SchedulerContext(
+            engine_step=self.stats.engine_steps,
+            max_batch_size=self.max_batch_size,
+            free_slots=free,
+            prefilling=prefilling,
+            num_decoding=self.num_active,
+        )
 
-        With ``prefill_chunk_tokens`` set, at most that many prompt tokens
-        are consumed this iteration: in-flight chunked prefills resume first
-        (oldest request first), then new requests are admitted into free
-        slots while budget remains.  A partially prefilled request reserves
-        its slot but does not decode until its prompt is consumed.
+    def _expire(self) -> List[Completion]:
+        """Retire waiting requests whose admission deadline has passed."""
+        completions: List[Completion] = []
+        for entry in self.queue.take_expired():
+            self._parked.pop(entry.request_id, None)
+            self._finish(entry.request_id, "expired")
+            self.stats.expired += 1
+            completions.append(
+                self._completion(entry.request_id, entry.request, [], [], "expired")
+            )
+        return completions
 
-        Returns completions for degenerate (zero-budget) requests, which
-        never occupy a slot.
-        """
-        immediate: List[Completion] = []
-        budget = self.prefill_chunk_tokens
-        for slot_idx in sorted(self._prefilling):
-            if budget is not None and budget <= 0:
-                return immediate
-            budget = self._advance_prefill(slot_idx, budget)
-        for slot_idx in range(self.max_batch_size):
-            if budget is not None and budget <= 0:
-                break
-            if self._slots[slot_idx] is not None or slot_idx in self._prefilling:
-                continue
-            while (
-                self._queue
-                and self._slots[slot_idx] is None
-                and slot_idx not in self._prefilling
-            ):
-                request_id, request = self._queue.popleft()
+    def _apply_plan(self, plan: AdmissionPlan) -> List[Completion]:
+        """Mechanically apply one admission plan (no policy decisions here)."""
+        completions: List[Completion] = []
+        for slot_idx in plan.preempt:
+            if slot_idx not in self._prefilling:
+                raise ValueError(f"plan preempts slot {slot_idx}, which is not prefilling")
+            progress = self._prefilling.pop(slot_idx)
+            self._parked[progress.request_id] = progress
+            # Record the parked position so schedulers budget only the
+            # remaining prompt tokens on re-admission.
+            progress.entry.prefill_pos = progress.pos
+            self.queue.requeue(progress.entry)
+            self.stats.preempted += 1
+        for slot_idx, tokens in plan.resume:
+            if slot_idx not in self._prefilling:
+                raise ValueError(f"plan resumes slot {slot_idx}, which is not prefilling")
+            if tokens is not None and tokens <= 0:
+                raise ValueError("resume token grants must be positive (or None)")
+            self._advance_prefill(slot_idx, tokens)
+        free = [
+            i
+            for i in range(self.max_batch_size)
+            if self._slots[i] is None and i not in self._prefilling
+        ]
+        free_iter = iter(free)
+        for request_id, tokens in plan.admit:
+            if request_id not in self.queue:
+                raise ValueError(f"plan admits request {request_id}, which is not queued")
+            entry = self.queue.pop(request_id)
+            latency = self._latency[request_id]
+            if latency.admitted_step is None:
+                # First admission only: a preempted-then-re-admitted request
+                # keeps one admitted count and its original admission stamp.
                 self.stats.admitted += 1
-                if request.max_new_tokens == 0:
-                    # Degenerate request: completes immediately, never holds a slot.
-                    self.stats.completed += 1
-                    immediate.append(
-                        Completion(
-                            request_id=request_id,
-                            request=request,
-                            result=GenerationResult(
-                                prompt=list(request.prompt), tokens=[], logprobs=[]
-                            ),
-                        )
-                    )
-                    continue
-                self._prefilling[slot_idx] = _PrefillProgress(
-                    request_id=request_id,
-                    request=request,
-                    cache=InferenceCache.zeros(self.model.config),
+                latency.admitted_step = self.stats.engine_steps
+                latency.admitted_at = self.queue.clock()
+            if entry.request.max_new_tokens == 0:
+                # Degenerate request: completes immediately, never holds a slot.
+                self.stats.completed += 1
+                self._finish(request_id, "length")
+                completions.append(
+                    self._completion(request_id, entry.request, [], [], "length")
                 )
-                budget = self._advance_prefill(slot_idx, budget)
-        return immediate
+                continue
+            try:
+                slot_idx = next(free_iter)
+            except StopIteration:
+                raise ValueError("plan admits more requests than free slots") from None
+            progress = self._parked.pop(request_id, None)
+            if progress is None:
+                progress = _PrefillProgress(
+                    entry=entry, cache=InferenceCache.zeros(self.model.config)
+                )
+            self._prefilling[slot_idx] = progress
+            self._advance_prefill(slot_idx, tokens)
+        return completions
 
-    def _advance_prefill(self, slot_idx: int, budget: Optional[int]) -> Optional[int]:
-        """Consume up to ``budget`` prompt tokens of one in-flight prefill.
+    def _advance_prefill(self, slot_idx: int, tokens: Optional[int]) -> None:
+        """Consume up to ``tokens`` prompt tokens of one in-flight prefill.
 
         The request's single-sequence cache is continued exactly across
         segments (chunked scan + conv-window carry); when the prompt is
         exhausted the request is installed into its slot with the true
-        last-token logits pending, ready to decode next iteration.  Returns
-        the remaining budget (``None`` = unbounded).
+        last-token logits pending, ready to decode this very iteration.
         """
         progress = self._prefilling[slot_idx]
         prompt = np.asarray(progress.request.prompt, dtype=np.int64)
         remaining = prompt.shape[0] - progress.pos
-        take = remaining if budget is None else min(remaining, budget)
+        take = remaining if tokens is None else min(remaining, tokens)
         if take <= 0:
-            return budget
+            return
         logits, _ = self.model.prefill(
             prompt[progress.pos : progress.pos + take], cache=progress.cache
         )
         progress.pos += take
         self.stats.prefill_calls += 1
         self.stats.prefilled_tokens += take
-        if budget is not None:
-            budget -= take
         if progress.pos == prompt.shape[0]:
             del self._prefilling[slot_idx]
             self._cache.scatter([slot_idx], InferenceCache.stack([progress.cache]))
@@ -374,7 +657,6 @@ class InferenceEngine:
             self._slots[slot_idx] = _Slot(
                 request_id=progress.request_id, request=request, rng=rng
             )
-        return budget
 
     def _select(self, slot: _Slot, logits: np.ndarray) -> Tuple[int, float]:
         """Choose the next token for one slot from its pending logits."""
@@ -390,16 +672,34 @@ class InferenceEngine:
         )
         return int(picked[0]), float(logprob[0])
 
-    def _retire(self, slot_idx: int) -> Completion:
+    def _finish(self, request_id: int, reason: str) -> None:
+        latency = self._latency[request_id]
+        latency.finished_step = self.stats.engine_steps
+        latency.finish_reason = reason
+
+    def _completion(
+        self,
+        request_id: int,
+        request: Request,
+        tokens: List[int],
+        logprobs: List[float],
+        reason: str,
+    ) -> Completion:
+        return Completion(
+            request_id=request_id,
+            request=request,
+            result=GenerationResult(
+                prompt=list(request.prompt), tokens=list(tokens), logprobs=list(logprobs)
+            ),
+            finish_reason=reason,
+            latency=self._latency.get(request_id),
+        )
+
+    def _retire(self, slot_idx: int, reason: str) -> Completion:
         slot = self._slots[slot_idx]
         self._slots[slot_idx] = None
         self.stats.completed += 1
-        return Completion(
-            request_id=slot.request_id,
-            request=slot.request,
-            result=GenerationResult(
-                prompt=list(slot.request.prompt),
-                tokens=slot.tokens,
-                logprobs=slot.logprobs,
-            ),
+        self._finish(slot.request_id, reason)
+        return self._completion(
+            slot.request_id, slot.request, slot.tokens, slot.logprobs, reason
         )

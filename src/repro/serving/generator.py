@@ -21,7 +21,7 @@ on an exact logit tie.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
@@ -64,6 +64,7 @@ class BatchedGenerator:
         stop_tokens=None,
         seed: int = 0,
         seeds: Optional[Sequence[int]] = None,
+        on_token: Optional[Callable[[int, int, float], None]] = None,
     ) -> List[GenerationResult]:
         """Decode every prompt to completion and return per-request results.
 
@@ -88,6 +89,11 @@ class BatchedGenerator:
             Sampling RNG seeds.  Request ``i`` draws from
             ``default_rng(seeds[i])`` (default ``seed + i``), so its tokens do
             not depend on which other requests share the batch.
+        on_token:
+            Optional streaming callback, mirroring the engine's:
+            ``on_token(request_index, token, logprob)`` is called for every
+            generated token the moment it is selected, before the batch
+            finishes -- request_index is the position in ``prompts``.
         """
         n = len(prompts)
         if n == 0:
@@ -139,6 +145,8 @@ class BatchedGenerator:
                 token = int(picked[row])
                 tokens[request].append(token)
                 logprobs[request].append(float(logprob[row]))
+                if on_token is not None:
+                    on_token(int(request), token, float(logprob[row]))
                 stop = stops[request]
                 done = (stop is not None and token == int(stop)) or len(
                     tokens[request]

@@ -1,0 +1,196 @@
+"""Admission queue for the inference engine.
+
+:class:`RequestQueue` is the waiting room between :meth:`InferenceEngine.submit
+<repro.serving.engine.InferenceEngine.submit>` and slot admission.  It is a
+plain data structure -- *which* queued request runs next is decided by the
+:class:`~repro.serving.scheduler.Scheduler`, which receives an ordered snapshot
+of the queue every engine iteration -- but it owns everything about a request's
+*waiting* life:
+
+- **arrival metadata** -- every entry records its arrival wall-clock time from
+  an injected, monotonic ``clock`` (tests and simulations pass a fake clock, so
+  queue-wait accounting is deterministic) and a monotonically increasing
+  ``arrival_seq`` that schedulers use for FIFO ordering and tie-breaking;
+- **priorities** -- an integer per request, higher = more urgent; the queue
+  stores it, priority-aware schedulers act on it;
+- **deadlines** -- an optional absolute clock time by which the request must be
+  *admitted*; :meth:`take_expired` pops every entry past its deadline so the
+  engine can retire them with ``finish_reason="expired"`` instead of letting a
+  doomed request occupy queue space;
+- **cancellation** -- :meth:`cancel` removes a waiting entry and hands it back
+  so the engine can synthesize a cancelled completion.
+
+The queue is thread-safe (producers may submit from other threads) and
+async-capable: :meth:`wait_for_work` blocks a consumer until an entry arrives,
+and :meth:`wait_for_work_async` awaits the same condition without blocking the
+event loop, so an asyncio serving front-end can drive the engine's ``step``
+loop directly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.serving.engine import Request
+
+__all__ = ["Clock", "QueueEntry", "RequestQueue"]
+
+#: Zero-argument callable returning the current time as a float.  The engine
+#: defaults to :func:`time.monotonic`; tests inject a fake clock so deadline
+#: and queue-wait behavior is deterministic.
+Clock = Callable[[], float]
+
+
+@dataclass
+class QueueEntry:
+    """One waiting request plus its admission metadata.
+
+    ``prefill_pos`` is non-zero only for a request that was preempted
+    mid-prefill and re-queued: it records how many prompt tokens are already
+    consumed (the engine parks the partial state), so schedulers budget only
+    the *remaining* prompt work.
+    """
+
+    request_id: int
+    request: "Request"
+    priority: int = 0
+    deadline: Optional[float] = None
+    arrival_time: float = 0.0
+    arrival_seq: int = 0
+    prefill_pos: int = 0
+
+    @property
+    def remaining_prompt_tokens(self) -> int:
+        return len(self.request.prompt) - self.prefill_pos
+
+    def expired(self, now: float) -> bool:
+        return self.deadline is not None and now >= self.deadline
+
+
+@dataclass
+class RequestQueue:
+    """Thread-safe, async-capable waiting queue with injected time.
+
+    Entries are keyed by request id; :meth:`entries` returns them ordered by
+    ``arrival_seq`` (FIFO), which also restores a preempted request -- re-added
+    with its original sequence number via :meth:`requeue` -- to its original
+    position.
+    """
+
+    clock: Clock = time.monotonic
+    _entries: Dict[int, QueueEntry] = field(default_factory=dict)
+    _seq: int = 0
+    _cond: threading.Condition = field(default_factory=threading.Condition)
+
+    # ------------------------------------------------------------------
+    # Producer side
+    # ------------------------------------------------------------------
+    def push(
+        self,
+        request_id: int,
+        request: "Request",
+        *,
+        priority: int = 0,
+        deadline: Optional[float] = None,
+    ) -> QueueEntry:
+        """Append a new entry; stamps arrival time and sequence number."""
+        with self._cond:
+            if request_id in self._entries:
+                raise ValueError(f"request id {request_id} already queued")
+            entry = QueueEntry(
+                request_id=request_id,
+                request=request,
+                priority=priority,
+                deadline=deadline,
+                arrival_time=self.clock(),
+                arrival_seq=self._seq,
+            )
+            self._seq += 1
+            self._entries[request_id] = entry
+            self._cond.notify_all()
+            return entry
+
+    def requeue(self, entry: QueueEntry) -> None:
+        """Re-insert a previously popped entry, keeping its arrival metadata.
+
+        Used when the scheduler preempts an in-flight prefill: the request goes
+        back to the waiting queue at its *original* FIFO position (entries are
+        ordered by ``arrival_seq``).
+        """
+        with self._cond:
+            if entry.request_id in self._entries:
+                raise ValueError(f"request id {entry.request_id} already queued")
+            self._entries[entry.request_id] = entry
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # Consumer side
+    # ------------------------------------------------------------------
+    def entries(self) -> Tuple[QueueEntry, ...]:
+        """Snapshot of the waiting entries in FIFO (arrival) order."""
+        with self._cond:
+            return tuple(
+                sorted(self._entries.values(), key=lambda e: e.arrival_seq)
+            )
+
+    def pop(self, request_id: int) -> QueueEntry:
+        """Remove and return one entry (admission)."""
+        with self._cond:
+            return self._entries.pop(request_id)
+
+    def cancel(self, request_id: int) -> Optional[QueueEntry]:
+        """Remove a waiting entry; returns it, or ``None`` if not waiting."""
+        with self._cond:
+            return self._entries.pop(request_id, None)
+
+    def take_expired(self, now: Optional[float] = None) -> List[QueueEntry]:
+        """Pop and return every entry whose deadline has passed."""
+        with self._cond:
+            if now is None:
+                now = self.clock()
+            expired = [e for e in self._entries.values() if e.expired(now)]
+            for entry in expired:
+                del self._entries[entry.request_id]
+            return sorted(expired, key=lambda e: e.arrival_seq)
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._entries)
+
+    def __contains__(self, request_id: int) -> bool:
+        with self._cond:
+            return request_id in self._entries
+
+    # ------------------------------------------------------------------
+    # Waiting
+    # ------------------------------------------------------------------
+    def wait_for_work(self, timeout: Optional[float] = None) -> bool:
+        """Block until the queue is non-empty; ``True`` if work is available.
+
+        With ``timeout=None`` this only returns ``True``: the wait loops over
+        the condition predicate, so spurious wakeups -- or another consumer
+        draining the entry that woke us -- put this caller back to sleep
+        instead of returning an empty result.
+        """
+        with self._cond:
+            if timeout is None:
+                while not self._entries:
+                    self._cond.wait()
+                return True
+            deadline = time.monotonic() + timeout
+            while not self._entries:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._cond.wait(remaining)
+            return True
+
+    async def wait_for_work_async(self, timeout: Optional[float] = None) -> bool:
+        """Awaitable :meth:`wait_for_work` that does not block the event loop."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, self.wait_for_work, timeout)

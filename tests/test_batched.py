@@ -11,9 +11,7 @@ import pytest
 from repro.mamba import (
     CausalConv1d,
     InferenceCache,
-    Mamba2Model,
     SSMParams,
-    get_preset,
     ssm_scan,
     ssm_step,
 )

@@ -26,7 +26,7 @@ from repro.core import (
     run_hardware_ablation,
 )
 from repro.eval import build_reference_setup
-from repro.hardware import ScheduleMode, U280, VCK190
+from repro.hardware import ScheduleMode, U280
 from repro.quant import QuantConfig, QuantMethod
 
 

@@ -3,7 +3,6 @@ memory, FIFO, pipeline, EMU, MMU, HTU, SSMU."""
 
 import math
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -32,7 +31,7 @@ from repro.hardware import (
     matrix_hadamard_latency,
     ssm_operator_costs,
 )
-from repro.hardware.memory import BRAM_BYTES, URAM_BYTES
+from repro.hardware.memory import URAM_BYTES
 from repro.hardware.pipeline import LinearPipeline, PipelineStage
 
 

@@ -5,7 +5,7 @@ import pytest
 
 from repro.eval import ZipfCorpusGenerator, build_reference_setup, top1_agreement
 from repro.hardware import AcceleratorConfig, LightMambaAccelerator, VCK190
-from repro.mamba import InferenceCache, InitConfig, Mamba2Model, get_preset, greedy_decode
+from repro.mamba import InitConfig, Mamba2Model, get_preset, greedy_decode
 from repro.quant import QuantConfig, QuantMethod, quantize_model
 from repro.quant.rotation import RotationConfig, rotate_model
 

@@ -2,8 +2,6 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.mamba import (
     ByteTokenizer,
@@ -13,7 +11,6 @@ from repro.mamba import (
     InitConfig,
     Mamba2Config,
     Mamba2Model,
-    MODEL_PRESETS,
     OutlierProfile,
     RMSNorm,
     SSMParams,

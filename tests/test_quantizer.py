@@ -16,7 +16,6 @@ from repro.quant import (
     PercentileObserver,
     QuantizerConfig,
     compute_scales,
-    dequantize,
     quantization_error,
     quantize,
     quantize_dequantize,

@@ -1,0 +1,661 @@
+"""Tests of the scheduling subsystem: RequestQueue, policies, engine wiring."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.mamba import greedy_decode
+from repro.serving import (
+    FIFOScheduler,
+    InferenceEngine,
+    PagedScheduler,
+    PriorityScheduler,
+    Request,
+    RequestQueue,
+    Scheduler,
+    TokenLedger,
+)
+
+
+class FakeClock:
+    """Deterministic injectable clock."""
+
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def _mk_request(rng, vocab, size, budget, **kw):
+    return Request(
+        prompt=tuple(rng.integers(0, vocab, size=size)), max_new_tokens=budget, **kw
+    )
+
+
+def _check_matches_solo(model, completions, requests):
+    by_id = {c.request_id: c for c in completions}
+    for rid, request in enumerate(requests):
+        ref = greedy_decode(model, request.prompt, request.max_new_tokens)
+        assert by_id[rid].result.tokens == ref.tokens
+        np.testing.assert_allclose(by_id[rid].result.logprobs, ref.logprobs, atol=1e-10)
+
+
+class TestRequestQueue:
+    def test_fifo_order_and_arrival_metadata(self):
+        clock = FakeClock(10.0)
+        queue = RequestQueue(clock=clock)
+        a = queue.push(0, Request(prompt=(1,), max_new_tokens=1))
+        clock.now = 11.0
+        b = queue.push(1, Request(prompt=(2,), max_new_tokens=1), priority=3)
+        assert [e.request_id for e in queue.entries()] == [0, 1]
+        assert (a.arrival_time, b.arrival_time) == (10.0, 11.0)
+        assert a.arrival_seq < b.arrival_seq
+        assert b.priority == 3
+        assert len(queue) == 2 and 1 in queue
+
+    def test_requeue_restores_fifo_position(self):
+        queue = RequestQueue(clock=FakeClock())
+        queue.push(0, Request(prompt=(1,), max_new_tokens=1))
+        queue.push(1, Request(prompt=(2,), max_new_tokens=1))
+        first = queue.pop(0)
+        queue.requeue(first)
+        assert [e.request_id for e in queue.entries()] == [0, 1]
+
+    def test_cancel_and_duplicate_push(self):
+        queue = RequestQueue(clock=FakeClock())
+        queue.push(0, Request(prompt=(1,), max_new_tokens=1))
+        assert queue.cancel(0).request_id == 0
+        assert queue.cancel(0) is None
+        queue.push(0, Request(prompt=(1,), max_new_tokens=1))
+        with pytest.raises(ValueError):
+            queue.push(0, Request(prompt=(1,), max_new_tokens=1))
+
+    def test_take_expired_uses_injected_clock(self):
+        clock = FakeClock(0.0)
+        queue = RequestQueue(clock=clock)
+        queue.push(0, Request(prompt=(1,), max_new_tokens=1), deadline=5.0)
+        queue.push(1, Request(prompt=(2,), max_new_tokens=1), deadline=50.0)
+        queue.push(2, Request(prompt=(3,), max_new_tokens=1))  # no deadline
+        assert queue.take_expired() == []
+        clock.now = 5.0
+        expired = queue.take_expired()
+        assert [e.request_id for e in expired] == [0]
+        assert [e.request_id for e in queue.entries()] == [1, 2]
+
+    def test_wait_for_work(self):
+        queue = RequestQueue(clock=FakeClock())
+        assert queue.wait_for_work(timeout=0.01) is False
+        queue.push(0, Request(prompt=(1,), max_new_tokens=1))
+        assert queue.wait_for_work(timeout=0.01) is True
+
+    def test_wait_for_work_async(self):
+        queue = RequestQueue(clock=FakeClock())
+
+        async def scenario():
+            empty = await queue.wait_for_work_async(timeout=0.01)
+            queue.push(0, Request(prompt=(1,), max_new_tokens=1))
+            ready = await queue.wait_for_work_async(timeout=0.01)
+            return empty, ready
+
+        assert asyncio.run(scenario()) == (False, True)
+
+
+class TestTokenLedger:
+    def test_decode_charges_reduce_prefill_budget(self):
+        ledger = TokenLedger(8)
+        ledger.charge_decode(3)
+        assert ledger.remaining == 5
+        assert ledger.grant_prefill(10) == 5
+        assert ledger.remaining == 0
+        assert ledger.grant_prefill(4) == 0
+
+    def test_floor_overdraws_exhausted_page(self):
+        ledger = TokenLedger(2)
+        ledger.charge_decode(2)
+        assert ledger.grant_prefill(10, floor=3) == 3
+        assert ledger.remaining == 0
+
+    def test_floor_applies_to_nearly_exhausted_page(self):
+        """A remainder smaller than the floor is raised to the floor."""
+        ledger = TokenLedger(8)
+        ledger.charge_decode(7)  # remaining == 1 < floor
+        assert ledger.grant_prefill(100, floor=4) == 4
+        ledger = TokenLedger(8)
+        ledger.charge_decode(2)  # remaining == 6 >= floor: floor is inactive
+        assert ledger.grant_prefill(100, floor=4) == 6
+
+    def test_unbounded_and_validation(self):
+        assert TokenLedger(None).grant_prefill(1000) == 1000
+        with pytest.raises(ValueError):
+            TokenLedger(0)
+
+
+class TestPolicyEquivalence:
+    """Scheduling changes when work runs, never what it produces."""
+
+    def _requests(self, model, seed=11):
+        rng = np.random.default_rng(seed)
+        vocab = model.config.vocab_size
+        sizes = (23, 5, 40, 9, 3)
+        budgets = (4, 6, 3, 5, 7)
+        return [_mk_request(rng, vocab, s, b) for s, b in zip(sizes, budgets)]
+
+    @pytest.mark.parametrize(
+        "scheduler",
+        [
+            FIFOScheduler(),
+            FIFOScheduler(prefill_chunk_tokens=5),
+            PriorityScheduler(prefill_chunk_tokens=5),
+            PriorityScheduler(prefill_chunk_tokens=4, preempt=True),
+            PagedScheduler(page_tokens=8),
+            PagedScheduler(page_tokens=3),
+        ],
+    )
+    def test_all_policies_match_solo_decode(self, tiny_model, scheduler):
+        requests = self._requests(tiny_model)
+        engine = InferenceEngine(tiny_model, max_batch_size=2, scheduler=scheduler)
+        completions = engine.run(requests)
+        assert len(completions) == len(requests)
+        assert all(c.finish_reason == "length" for c in completions)
+        _check_matches_solo(tiny_model, completions, requests)
+
+    def test_explicit_fifo_is_bit_identical_to_default_engine(self, tiny_model):
+        """FIFOScheduler must reproduce the legacy engine exactly: same
+        completions, same prefill segmentation, same stats trajectory."""
+        requests = self._requests(tiny_model)
+        for chunk in (None, 1, 3, 7):
+            legacy = InferenceEngine(
+                tiny_model, max_batch_size=2, prefill_chunk_tokens=chunk
+            )
+            explicit = InferenceEngine(
+                tiny_model,
+                max_batch_size=2,
+                scheduler=FIFOScheduler(prefill_chunk_tokens=chunk),
+            )
+            done_a = legacy.run(requests)
+            done_b = explicit.run(requests)
+            for a, b in zip(done_a, done_b):
+                assert a.result.tokens == b.result.tokens
+                assert a.result.logprobs == b.result.logprobs  # bitwise
+            assert legacy.stats == explicit.stats
+
+    def test_scheduler_protocol_runtime_checkable(self):
+        assert isinstance(FIFOScheduler(), Scheduler)
+        assert isinstance(PagedScheduler(page_tokens=4), Scheduler)
+        assert not isinstance(object(), Scheduler)
+
+    def test_engine_rejects_scheduler_and_chunk_tokens(self, tiny_model):
+        with pytest.raises(ValueError):
+            InferenceEngine(
+                tiny_model, prefill_chunk_tokens=4, scheduler=FIFOScheduler()
+            )
+        with pytest.raises(ValueError):
+            PagedScheduler(page_tokens=0)
+        with pytest.raises(ValueError):
+            PriorityScheduler(prefill_chunk_tokens=0)
+
+
+class TestPriorityScheduler:
+    def test_priority_order_with_fifo_ties(self, tiny_model):
+        """Higher priority admits first; equal priorities keep arrival order."""
+        rng = np.random.default_rng(12)
+        vocab = tiny_model.config.vocab_size
+        engine = InferenceEngine(
+            tiny_model, max_batch_size=1, scheduler=PriorityScheduler()
+        )
+        blocker = engine.submit(_mk_request(rng, vocab, 4, 6))
+        engine.step()  # blocker occupies the only slot
+        low = engine.submit(_mk_request(rng, vocab, 3, 2), priority=0)
+        high_1 = engine.submit(_mk_request(rng, vocab, 3, 2), priority=5)
+        high_2 = engine.submit(_mk_request(rng, vocab, 3, 2), priority=5)
+        engine.run()
+        order = sorted(
+            (blocker, low, high_1, high_2),
+            key=lambda rid: (engine.latency(rid).admitted_step, rid),
+        )
+        assert order == [blocker, high_1, high_2, low]
+        assert (
+            engine.latency(high_1).admitted_step < engine.latency(high_2).admitted_step
+            or engine.latency(high_1).first_token_step
+            < engine.latency(high_2).first_token_step
+        )
+
+    def test_preemption_evicts_low_priority_prefill_and_keeps_progress(
+        self, tiny_model
+    ):
+        rng = np.random.default_rng(13)
+        vocab = tiny_model.config.vocab_size
+        engine = InferenceEngine(
+            tiny_model,
+            max_batch_size=1,
+            scheduler=PriorityScheduler(prefill_chunk_tokens=4, preempt=True),
+        )
+        long_req = _mk_request(rng, vocab, 20, 2)
+        long_id = engine.submit(long_req, priority=0)
+        engine.step()
+        assert engine.num_prefilling == 1  # 4 of 20 prompt tokens done
+        short_req = _mk_request(rng, vocab, 3, 2)
+        short_id = engine.submit(short_req, priority=5)
+        completions = []
+        while engine.has_work:
+            completions.extend(engine.step())
+        assert engine.stats.preempted == 1
+        # Preempted progress was kept: every prompt token prefilled exactly once.
+        assert engine.stats.prefilled_tokens == 23
+        # Re-admission does not double-count: two requests, two admissions.
+        assert engine.stats.admitted == 2 == engine.stats.completed
+        assert engine.latency(short_id).first_token_step < engine.latency(
+            long_id
+        ).first_token_step
+        by_id = {c.request_id: c for c in completions}
+        for rid, request in ((long_id, long_req), (short_id, short_req)):
+            ref = greedy_decode(tiny_model, request.prompt, request.max_new_tokens)
+            assert by_id[rid].result.tokens == ref.tokens
+
+    def test_preemption_only_when_it_admits_the_urgent_request(self, tiny_model):
+        """A degenerate urgent request needs no slot, so nothing is evicted."""
+        rng = np.random.default_rng(27)
+        vocab = tiny_model.config.vocab_size
+        engine = InferenceEngine(
+            tiny_model,
+            max_batch_size=1,
+            scheduler=PriorityScheduler(prefill_chunk_tokens=4, preempt=True),
+        )
+        engine.submit(_mk_request(rng, vocab, 20, 2), priority=0)
+        engine.step()
+        assert engine.num_prefilling == 1
+        engine.submit(_mk_request(rng, vocab, 3, 0), priority=9)
+        engine.run()
+        assert engine.stats.preempted == 0
+
+    def test_preempted_entry_budgets_remaining_tokens_only(self):
+        """A re-queued preempted request charges only its unprefilled tail."""
+        from repro.serving import QueueEntry, SchedulerContext
+
+        parked = QueueEntry(
+            request_id=0,
+            request=Request(prompt=tuple(range(1, 21)), max_new_tokens=2),
+            arrival_seq=0,
+            prefill_pos=12,
+        )
+        fresh = QueueEntry(
+            request_id=1,
+            request=Request(prompt=(1, 2, 3), max_new_tokens=2),
+            arrival_seq=1,
+        )
+        ctx = SchedulerContext(
+            engine_step=1,
+            max_batch_size=2,
+            free_slots=(0, 1),
+            prefilling=(),
+            num_decoding=0,
+        )
+        plan = FIFOScheduler(prefill_chunk_tokens=10).plan((parked, fresh), ctx)
+        # 8 remaining tokens charged (not 20), leaving 2 for the second admit.
+        assert plan.admit == ((0, 8), (1, 2))
+
+
+class TestPagedScheduler:
+    def test_decode_stall_bounded_by_page_budget(self, tiny_model):
+        """A long prompt may add at most the page remainder per iteration,
+        and in-flight decodes advance every single step (starvation-freedom)."""
+        rng = np.random.default_rng(14)
+        vocab = tiny_model.config.vocab_size
+        page = 6
+        engine = InferenceEngine(
+            tiny_model, max_batch_size=2, scheduler=PagedScheduler(page_tokens=page)
+        )
+        short = _mk_request(rng, vocab, 3, 30)
+        engine.submit(short)
+        engine.step()
+        assert engine.num_active == 1
+        long = _mk_request(rng, vocab, 50, 2)
+        engine.submit(long)
+        while engine.num_active >= 1 and engine.has_work:
+            decoded_before = engine.stats.decoded_tokens
+            prefilled_before = engine.stats.prefilled_tokens
+            engine.step()
+            # The decode advanced this very iteration...
+            assert engine.stats.decoded_tokens > decoded_before
+            # ...and the long prompt charged at most the page remainder.
+            assert engine.stats.prefilled_tokens - prefilled_before <= page - 1
+        completions = engine.run()  # drain whatever is left
+        assert engine.stats.prefilled_tokens == 53
+
+    def test_prefill_liveness_floor_when_decodes_fill_page(self, tiny_model):
+        """page_tokens <= decoding rows still prefills min_prefill_tokens."""
+        rng = np.random.default_rng(15)
+        vocab = tiny_model.config.vocab_size
+        engine = InferenceEngine(
+            tiny_model, max_batch_size=3, scheduler=PagedScheduler(page_tokens=2)
+        )
+        for _ in range(2):
+            engine.submit(_mk_request(rng, vocab, 1, 40))
+        engine.step()
+        assert engine.num_active == 2  # both decode: page is fully charged
+        engine.submit(_mk_request(rng, vocab, 30, 1))
+        prefilled_before = engine.stats.prefilled_tokens
+        engine.step()
+        # Liveness floor: exactly min_prefill_tokens despite the exhausted page.
+        assert engine.stats.prefilled_tokens - prefilled_before == 1
+
+    def test_degenerate_requests_complete_without_free_slot(self, tiny_model):
+        rng = np.random.default_rng(16)
+        vocab = tiny_model.config.vocab_size
+        engine = InferenceEngine(
+            tiny_model, max_batch_size=1, scheduler=PagedScheduler(page_tokens=4)
+        )
+        engine.submit(_mk_request(rng, vocab, 2, 10))
+        engine.step()  # slot occupied
+        zero = engine.submit(_mk_request(rng, vocab, 2, 0))
+        done = engine.step()
+        assert [c.request_id for c in done] == [zero]
+        assert done[0].finish_reason == "length"
+
+
+class TestCancellation:
+    def test_cancel_queued_request(self, tiny_model):
+        rng = np.random.default_rng(17)
+        vocab = tiny_model.config.vocab_size
+        engine = InferenceEngine(tiny_model, max_batch_size=1)
+        running = engine.submit(_mk_request(rng, vocab, 3, 5))
+        engine.step()
+        waiting_req = _mk_request(rng, vocab, 4, 5)
+        waiting = engine.submit(waiting_req)
+        assert engine.cancel(waiting) is True
+        assert engine.num_waiting == 0
+        completions = engine.run()
+        by_id = {c.request_id: c for c in completions}
+        assert by_id[waiting].finish_reason == "cancelled"
+        assert by_id[waiting].result.tokens == []
+        assert by_id[running].finish_reason == "length"
+        assert engine.stats.cancelled == 1
+        assert engine.latency(waiting).finish_reason == "cancelled"
+
+    def test_cancel_in_flight_decode_keeps_partial_tokens(self, tiny_model):
+        rng = np.random.default_rng(18)
+        vocab = tiny_model.config.vocab_size
+        engine = InferenceEngine(tiny_model, max_batch_size=1)
+        request = _mk_request(rng, vocab, 4, 10)
+        rid = engine.submit(request)
+        engine.step()
+        engine.step()
+        assert engine.cancel(rid) is True
+        assert engine.num_active == 0
+        (completion,) = engine.run()
+        assert completion.finish_reason == "cancelled"
+        ref = greedy_decode(tiny_model, request.prompt, 10)
+        assert completion.result.tokens == ref.tokens[:2]
+        # The freed slot is immediately reusable.
+        fresh = _mk_request(rng, vocab, 3, 2)
+        fresh_id = engine.submit(fresh)
+        (done,) = engine.run()
+        assert done.request_id == fresh_id
+        assert done.result.tokens == greedy_decode(tiny_model, fresh.prompt, 2).tokens
+
+    def test_cancel_mid_prefill_frees_reserved_slot(self, tiny_model):
+        rng = np.random.default_rng(19)
+        vocab = tiny_model.config.vocab_size
+        engine = InferenceEngine(tiny_model, max_batch_size=1, prefill_chunk_tokens=4)
+        rid = engine.submit(_mk_request(rng, vocab, 20, 5))
+        engine.step()
+        assert engine.num_prefilling == 1
+        assert engine.cancel(rid) is True
+        assert engine.num_prefilling == 0
+        (completion,) = engine.run()
+        assert completion.finish_reason == "cancelled"
+        assert completion.result.tokens == []
+
+    def test_cancel_from_on_token_callback(self, tiny_model):
+        """Cancelling mid-step from the streaming callback must not crash the
+        engine or double-deliver completions -- self- and cross-cancel."""
+        rng = np.random.default_rng(26)
+        vocab = tiny_model.config.vocab_size
+        requests = [_mk_request(rng, vocab, 4, 6) for _ in range(3)]
+        engine = InferenceEngine(tiny_model, max_batch_size=3)
+        streamed = {0: [], 1: [], 2: []}
+
+        def on_token(rid, token, logprob):
+            streamed[rid].append(token)
+            if rid == 0 and len(streamed[0]) == 3:
+                engine.cancel(0)  # self-cancel mid-stream
+                engine.cancel(1)  # cross-cancel another in-flight slot
+
+        completions = engine.run(requests, on_token=on_token)
+        assert [c.request_id for c in completions] == [0, 1, 2]
+        by_id = {c.request_id: c for c in completions}
+        assert by_id[0].finish_reason == "cancelled"
+        assert by_id[0].result.tokens == streamed[0]  # includes the 3rd token
+        assert len(by_id[0].result.tokens) == 3
+        assert by_id[1].finish_reason == "cancelled"
+        ref = greedy_decode(tiny_model, requests[2].prompt, 6)
+        assert by_id[2].finish_reason == "length"
+        assert by_id[2].result.tokens == ref.tokens
+
+    def test_cross_cancel_of_earlier_slot_is_not_decoded(self, tiny_model):
+        """A slot cancelled by a *later* slot's on_token callback must not be
+        fed through the batched decode call after being freed."""
+        rng = np.random.default_rng(28)
+        vocab = tiny_model.config.vocab_size
+        first = _mk_request(rng, vocab, 3, 10)
+        second = _mk_request(rng, vocab, 4, 10)
+        engine = InferenceEngine(tiny_model, max_batch_size=2)
+        first_id = engine.submit(first)
+        second_id = engine.submit(second)
+        fired = []
+
+        def on_token(rid, token, logprob):
+            if rid == second_id and not fired:
+                fired.append(rid)
+                engine.cancel(first_id)  # slot 0 already marked survivor
+
+        completions = engine.run(on_token=on_token)
+        by_id = {c.request_id: c for c in completions}
+        assert by_id[first_id].finish_reason == "cancelled"
+        assert len(by_id[first_id].result.tokens) == 1
+        ref = greedy_decode(tiny_model, second.prompt, 10)
+        assert by_id[second_id].result.tokens == ref.tokens
+        # Only the surviving request's rows were decoded: 9 single-row calls
+        # (its first token came from prefill logits), none for the freed slot.
+        assert engine.stats.decode_call_rows == 9
+
+    def test_cancel_unknown_or_finished_returns_false(self, tiny_model):
+        rng = np.random.default_rng(20)
+        vocab = tiny_model.config.vocab_size
+        engine = InferenceEngine(tiny_model, max_batch_size=1)
+        rid = engine.submit(_mk_request(rng, vocab, 3, 1))
+        engine.run()
+        assert engine.cancel(rid) is False
+        assert engine.cancel(999) is False
+
+
+class TestDeadlines:
+    def test_expired_waiting_request_retires(self, tiny_model):
+        rng = np.random.default_rng(21)
+        vocab = tiny_model.config.vocab_size
+        clock = FakeClock(100.0)
+        engine = InferenceEngine(tiny_model, max_batch_size=1, clock=clock)
+        running = engine.submit(_mk_request(rng, vocab, 3, 6))
+        engine.step()
+        doomed = engine.submit(_mk_request(rng, vocab, 4, 6), deadline=104.0)
+        patient = engine.submit(_mk_request(rng, vocab, 4, 2), timeout=900.0)
+        clock.now = 105.0
+        completions = engine.run()
+        by_id = {c.request_id: c for c in completions}
+        assert by_id[doomed].finish_reason == "expired"
+        assert by_id[doomed].result.tokens == []
+        assert by_id[running].finish_reason == "length"
+        assert by_id[patient].finish_reason == "length"
+        assert engine.stats.expired == 1
+
+    def test_submit_validation(self, tiny_model):
+        engine = InferenceEngine(tiny_model)
+        with pytest.raises(ValueError):
+            engine.submit(
+                Request(prompt=(1,), max_new_tokens=1), deadline=1.0, timeout=1.0
+            )
+        with pytest.raises(ValueError):
+            engine.submit(Request(prompt=(1,), max_new_tokens=1), timeout=-1.0)
+
+
+class TestLatencyStats:
+    def test_queue_wait_and_ttft_iterations(self, tiny_model):
+        rng = np.random.default_rng(22)
+        vocab = tiny_model.config.vocab_size
+        engine = InferenceEngine(tiny_model, max_batch_size=1)
+        first = engine.submit(_mk_request(rng, vocab, 3, 3))
+        second = engine.submit(_mk_request(rng, vocab, 3, 2))
+        engine.run()
+        lat_first = engine.latency(first)
+        # Admitted (and first token emitted) on the very next step: zero wait.
+        assert lat_first.queue_wait_iterations == 0
+        assert lat_first.ttft_iterations == 0
+        assert lat_first.decode_iterations == 3
+        assert lat_first.finish_reason == "length"
+        lat_second = engine.latency(second)
+        # Waited for the three decode iterations of the first request.
+        assert lat_second.queue_wait_iterations == 3
+        assert lat_second.ttft_iterations == 3
+        assert lat_second.decode_iterations == 2
+        assert lat_second.finished_step == lat_second.first_token_step + 1
+
+    def test_completion_carries_latency_record(self, tiny_model):
+        rng = np.random.default_rng(23)
+        vocab = tiny_model.config.vocab_size
+        engine = InferenceEngine(tiny_model)
+        (completion,) = engine.run([_mk_request(rng, vocab, 3, 2)])
+        assert completion.latency is engine.latency(completion.request_id)
+        assert completion.latency.finish_reason == "length"
+
+
+class TestStreaming:
+    def test_engine_on_token_streams_every_token_in_order(self, tiny_model):
+        rng = np.random.default_rng(24)
+        vocab = tiny_model.config.vocab_size
+        requests = [_mk_request(rng, vocab, s, b) for s, b in ((3, 4), (5, 2), (4, 3))]
+        engine = InferenceEngine(tiny_model, max_batch_size=2)
+        streamed = {}
+        completions = engine.run(
+            requests,
+            on_token=lambda rid, tok, lp: streamed.setdefault(rid, []).append((tok, lp)),
+        )
+        for completion in completions:
+            tokens = [t for t, _ in streamed[completion.request_id]]
+            logprobs = [lp for _, lp in streamed[completion.request_id]]
+            assert tokens == completion.result.tokens
+            assert logprobs == completion.result.logprobs  # bitwise: same floats
+
+    def test_generator_on_token_matches_results(self, tiny_model):
+        rng = np.random.default_rng(25)
+        vocab = tiny_model.config.vocab_size
+        prompts = [rng.integers(0, vocab, size=s) for s in (4, 6)]
+        from repro.serving import BatchedGenerator
+
+        streamed = {}
+        results = BatchedGenerator(tiny_model).generate(
+            prompts,
+            3,
+            on_token=lambda i, tok, lp: streamed.setdefault(i, []).append(tok),
+        )
+        for i, result in enumerate(results):
+            assert streamed[i] == result.tokens
+
+
+class TestThreadSafety:
+    def test_concurrent_submit_allocates_unique_ids(self, tiny_model):
+        """Producers may submit from many threads; ids and latency records
+        must never collide (the queue advertises thread-safe producers)."""
+        import threading
+
+        rng = np.random.default_rng(29)
+        vocab = tiny_model.config.vocab_size
+        engine = InferenceEngine(tiny_model, max_batch_size=2)
+        ids = []
+        lock = threading.Lock()
+
+        def producer():
+            local = [
+                engine.submit(_mk_request(np.random.default_rng(0), vocab, 3, 1))
+                for _ in range(50)
+            ]
+            with lock:
+                ids.extend(local)
+
+        threads = [threading.Thread(target=producer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(ids) == 200 and len(set(ids)) == 200
+        assert engine.num_waiting == 200
+        assert all(engine.latency(rid).request_id == rid for rid in ids)
+
+
+class TestDeterminism:
+    def _trace(self, model, scheduler, seed):
+        """Admission trace of a seeded mixed workload under one policy."""
+        rng = np.random.default_rng(seed)
+        vocab = model.config.vocab_size
+        engine = InferenceEngine(
+            model, max_batch_size=2, scheduler=scheduler, clock=FakeClock()
+        )
+        ids = []
+        for _ in range(8):
+            size = int(rng.choice((3, 5, 24)))
+            budget = int(rng.integers(1, 5))
+            priority = int(rng.integers(0, 3))
+            ids.append(
+                engine.submit(
+                    _mk_request(rng, vocab, size, budget), priority=priority
+                )
+            )
+            engine.step()
+        engine.run()
+        return [
+            (
+                rid,
+                engine.latency(rid).admitted_step,
+                engine.latency(rid).first_token_step,
+                engine.latency(rid).finished_step,
+            )
+            for rid in ids
+        ]
+
+    @pytest.mark.parametrize(
+        "make_scheduler",
+        [
+            lambda: FIFOScheduler(prefill_chunk_tokens=4),
+            lambda: PriorityScheduler(prefill_chunk_tokens=4),
+            lambda: PagedScheduler(page_tokens=6),
+        ],
+    )
+    def test_two_runs_produce_identical_admission_traces(
+        self, tiny_model, make_scheduler
+    ):
+        first = self._trace(tiny_model, make_scheduler(), seed=77)
+        second = self._trace(tiny_model, make_scheduler(), seed=77)
+        assert first == second
+
+
+class TestBenchWorkloadDeterminism:
+    """The seeded bench_scheduler workload reproduces its admission trace."""
+
+    def test_bench_workload_admission_trace_is_deterministic(self, tiny_model):
+        import sys
+        from pathlib import Path
+
+        sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
+        try:
+            from bench_scheduler import make_workload, run_policy
+        finally:
+            sys.path.pop(0)
+
+        workload_a = make_workload(tiny_model.config.vocab_size, n_requests=10, seed=3)
+        workload_b = make_workload(tiny_model.config.vocab_size, n_requests=10, seed=3)
+        assert workload_a == workload_b
+        result_a = run_policy(tiny_model, PagedScheduler(page_tokens=8), workload_a)
+        result_b = run_policy(tiny_model, PagedScheduler(page_tokens=8), workload_b)
+        assert result_a["admission_trace"] == result_b["admission_trace"]
+        assert result_a["metrics"] == result_b["metrics"]

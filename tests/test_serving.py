@@ -5,7 +5,7 @@ import pytest
 
 from repro.mamba import greedy_decode, sample_decode
 from repro.mamba.sampling import greedy_select, log_softmax, sample_select, top_k_filter
-from repro.serving import BatchedGenerator, InferenceEngine, Request
+from repro.serving import BatchedGenerator, EngineStats, InferenceEngine, Request
 
 
 class TestSamplingPrimitives:
@@ -256,6 +256,16 @@ class TestInferenceEngine:
         engine = InferenceEngine(tiny_model, max_batch_size=1)
         completions = engine.run([Request(prompt=(1, 2), max_new_tokens=0)])
         assert completions[0].result.tokens == []
+
+    def test_tokens_per_decode_call_guards_zero_decode_calls(self, tiny_model):
+        """No decode calls must report 0.0 occupancy, not divide by zero."""
+        assert EngineStats().tokens_per_decode_call == 0.0
+        # An engine that only ever served zero-budget requests never issues a
+        # batched decode call either.
+        engine = InferenceEngine(tiny_model, max_batch_size=1)
+        engine.run([Request(prompt=(1, 2), max_new_tokens=0)])
+        assert engine.stats.decode_calls == 0
+        assert engine.stats.tokens_per_decode_call == 0.0
 
     def test_validation(self, tiny_model):
         with pytest.raises(ValueError):
