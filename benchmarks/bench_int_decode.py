@@ -1,0 +1,240 @@
+"""Persistent integer-state decode throughput vs fake-quant decode.
+
+The quantized decode path used to round-trip the recurrent state ``h``
+through fake-quant floats on every token: quantize the incoming float state,
+compute, quantize the outgoing state, store floats.  The persistent-state
+mode (``SSMQuantConfig.persistent_state=True``) keeps ``h`` resident as INT
+codes + PoT scales between steps -- the FPGA's on-chip state buffer execution
+model -- so step entry is a cheap ``codes * scales`` dequantize instead of a
+full re-quantization pass over the largest tensor in the step.  Outputs are
+bit-identical (on-grid PoT re-quantization is idempotent; pinned by
+``tests/test_int_state.py``), so the entire difference is decode speed.
+
+This benchmark measures pure decode tokens/sec (prefill excluded: the prompt
+is summarised once untimed, then a fresh copy of the cache is advanced
+``decode_tokens`` steps) for the lightmamba* configurations at paper-scale
+SSM dims, fake-quant vs persistent, across batch sizes.  Speedups are ratios
+on the same machine, so the committed record is portable and feeds the CI
+regression gate (``check_regression.py``).
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_int_decode.py [--smoke]
+
+or through the benchmark harness
+(``pytest benchmarks/bench_int_decode.py``).
+"""
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench import format_series
+from repro.mamba import InitConfig, Mamba2Config, Mamba2Model
+from repro.quant import QuantConfig, QuantMethod, SSMQuantConfig, quantize_model
+
+#: Decode benchmark configuration with the published-scale SSM state dims
+#: (d_state 128, headdim 64): the recurrent state is the largest per-step
+#: tensor, which is exactly what the persistent mode stops re-quantizing.
+INT_DECODE_BENCH_CONFIG = Mamba2Config(
+    name="int-decode-bench",
+    d_model=256,
+    n_layer=2,
+    vocab_size=512,
+    d_state=128,
+    headdim=64,
+)
+
+#: The quantized configurations under test (the paper's lightmamba* points).
+#: The SSM itself is INT8 in both; the persistent variant only changes where
+#: the state lives between steps.
+QUANT_CONFIGS = (
+    ("W8A8", lambda ssm: QuantConfig.w8a8(QuantMethod.LIGHTMAMBA_STAR, ssm=ssm)),
+    ("W4A4", lambda ssm: QuantConfig.w4a4(QuantMethod.LIGHTMAMBA_STAR, ssm=ssm)),
+)
+
+
+def _paired_best_step(models, batch_size, decode_tokens, repeats, seed=0):
+    """Best per-step decode seconds for each model, interleaved step by step.
+
+    Each model's prompt batch is prefilled once (untimed) and its cache then
+    advances continuously; the timed region is exactly one ``model.step``
+    call -- the decode hot path the persistent state changes.  The models
+    take turns *every step* (A, B, A, B, ...), so both sample the same
+    machine conditions at millisecond granularity: the paths differ by only
+    ~1.1-1.3x, which sustained CPU-frequency / scheduler drift between two
+    coarser back-to-back measurement blocks would swamp.  One untimed warmup
+    step per model precedes the clock (allocator and BLAS thread-pool
+    state otherwise bias whichever path is measured first).
+    """
+    rng = np.random.default_rng(seed)
+    prompts = np.stack(
+        [rng.integers(0, models[0].config.vocab_size, size=8) for _ in range(batch_size)]
+    )
+    lanes = []
+    for model in models:
+        logits, cache = model.prefill(prompts)
+        lanes.append({"model": model, "tokens": np.argmax(logits, axis=-1), "cache": cache})
+    for lane in lanes:  # untimed warmup
+        lane["model"].step(lane["tokens"], lane["cache"])
+    best = [np.inf] * len(models)
+    for _ in range(repeats * decode_tokens):
+        for i, lane in enumerate(lanes):
+            start = time.perf_counter()
+            logits = lane["model"].step(lane["tokens"], lane["cache"])
+            best[i] = min(best[i], time.perf_counter() - start)
+            lane["tokens"] = np.argmax(logits, axis=-1)
+    return best
+
+
+def bench_int_decode(
+    batch_sizes=(1, 4, 8),
+    decode_tokens=32,
+    config: Mamba2Config = INT_DECODE_BENCH_CONFIG,
+    repeats: int = 3,
+):
+    """Measure fake-quant vs persistent integer-state decode tokens/sec.
+
+    Returns a dict with a ``series`` entry per measurement (tokens/sec keyed
+    by batch size) and a ``speedup`` entry per quantized configuration
+    (persistent over fake-quant at equal batch size).
+    """
+    model = Mamba2Model.from_config(config, InitConfig(seed=0))
+
+    series: dict = {}
+    speedup: dict = {}
+    for label, make_config in QUANT_CONFIGS:
+        fake = quantize_model(model, make_config(SSMQuantConfig()))
+        persistent = quantize_model(
+            model, make_config(SSMQuantConfig(persistent_state=True))
+        )
+        fake_tps, persistent_tps = {}, {}
+        for batch_size in batch_sizes:
+            fake_s, persistent_s = _paired_best_step(
+                (fake, persistent), batch_size, decode_tokens, repeats
+            )
+            # Steady-state decode throughput: batch tokens per best step.
+            fake_tps[batch_size] = batch_size / fake_s
+            persistent_tps[batch_size] = batch_size / persistent_s
+        series[f"decode {label} fake-quant state (tok/s)"] = fake_tps
+        series[f"decode {label} persistent int state (tok/s)"] = persistent_tps
+        speedup[f"decode {label}"] = {
+            b: persistent_tps[b] / fake_tps[b] for b in batch_sizes
+        }
+
+    return {
+        "config": config.name,
+        "decode_tokens": decode_tokens,
+        "series": series,
+        "speedup": speedup,
+    }
+
+
+def format_results(results) -> str:
+    series = dict(results["series"])
+    for name, speedups in results["speedup"].items():
+        series[f"{name} speedup (x)"] = speedups
+    return format_series(
+        series,
+        x_label="batch",
+        title=(
+            "Quantized decode: persistent integer state vs fake-quant state "
+            f"({results['config']}, {results['decode_tokens']} decode tokens)"
+        ),
+    )
+
+
+#: Measurement shape of the CI smoke runs; the committed JSON carries a
+#: smoke-shaped ``smoke_speedup`` section so the regression gate compares
+#: like-shaped runs.
+SMOKE_BATCH_SIZES = (1, 4)
+SMOKE_DECODE_TOKENS = 12
+SMOKE_REPEATS = 1
+
+
+def write_json(results, path, smoke_speedup=None) -> None:
+    path = Path(path)
+    payload = {
+        "benchmark": "int_decode",
+        "config": results["config"],
+        "decode_tokens": results["decode_tokens"],
+        "series": {
+            name: {str(k): v for k, v in points.items()}
+            for name, points in results["series"].items()
+        },
+        "speedup": {
+            name: {str(k): v for k, v in points.items()}
+            for name, points in results["speedup"].items()
+        },
+    }
+    if smoke_speedup is not None:
+        payload["smoke_speedup"] = {
+            name: {str(k): v for k, v in points.items()}
+            for name, points in smoke_speedup.items()
+        }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def test_int_decode(benchmark, save_output):
+    results = benchmark.pedantic(bench_int_decode, rounds=1, iterations=1)
+    text = format_results(results)
+    save_output("int_decode", text)
+    smoke = bench_int_decode(
+        batch_sizes=SMOKE_BATCH_SIZES,
+        decode_tokens=SMOKE_DECODE_TOKENS,
+        repeats=SMOKE_REPEATS,
+    )
+    write_json(
+        results,
+        Path(__file__).parent.parent / "BENCH_int_decode.json",
+        smoke_speedup=smoke["speedup"],
+    )
+
+    # Acceptance bar: removing the per-token state round trip must buy a
+    # measurable decode win at every configuration for some batch size.
+    for label, _ in QUANT_CONFIGS:
+        best = max(results["speedup"][f"decode {label}"].values())
+        assert best >= 1.05, results["speedup"]
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="quick CI mode: fewer batches and decode tokens, single repeat",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).parent.parent / "BENCH_int_decode.json",
+        help="where to write the JSON record",
+    )
+    args = parser.parse_args()
+
+    if args.smoke:
+        results = bench_int_decode(
+            batch_sizes=SMOKE_BATCH_SIZES,
+            decode_tokens=SMOKE_DECODE_TOKENS,
+            repeats=SMOKE_REPEATS,
+        )
+        smoke_speedup = results["speedup"]
+    else:
+        results = bench_int_decode()
+        smoke_speedup = bench_int_decode(
+            batch_sizes=SMOKE_BATCH_SIZES,
+            decode_tokens=SMOKE_DECODE_TOKENS,
+            repeats=SMOKE_REPEATS,
+        )["speedup"]
+    print(format_results(results))
+    # Smoke runs keep their artifacts next to their JSON (benchmarks/output/
+    # fresh/ in CI) so they never clobber the committed full-run records.
+    out_dir = args.output.parent if args.smoke else Path(__file__).parent / "output"
+    out_dir.mkdir(parents=True, exist_ok=True)
+    (out_dir / "int_decode.txt").write_text(format_results(results) + "\n")
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    write_json(results, args.output, smoke_speedup=smoke_speedup)
+    print(f"[saved to {args.output}]")

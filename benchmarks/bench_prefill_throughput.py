@@ -29,6 +29,7 @@ or through the benchmark harness
 import argparse
 import json
 import time
+from functools import partial
 from pathlib import Path
 
 import numpy as np
@@ -106,18 +107,18 @@ def bench_prefill_throughput(
     for seq_len in seq_lens:
         params, x, B, C, dt = _scan_inputs(config, seq_len)
         kernel_seq[seq_len] = seq_len / _best_of(
-            lambda: ssm_scan(params, x, B, C, dt), repeats
+            partial(ssm_scan, params, x, B, C, dt), repeats
         )
         kernel_chunk[seq_len] = seq_len / _best_of(
-            lambda: ssd_chunked_scan(params, x, B, C, dt, chunk_size=chunk), repeats
+            partial(ssd_chunked_scan, params, x, B, C, dt, chunk_size=chunk), repeats
         )
 
         tokens = rng.integers(0, config.vocab_size, size=seq_len)
         prefill_seq[seq_len] = seq_len / _best_of(
-            lambda: model.prefill(tokens, scan_impl="sequential"), repeats
+            partial(model.prefill, tokens, scan_impl="sequential"), repeats
         )
         prefill_chunk[seq_len] = seq_len / _best_of(
-            lambda: model.prefill(tokens, scan_impl="chunked", chunk_size=chunk), repeats
+            partial(model.prefill, tokens, scan_impl="chunked", chunk_size=chunk), repeats
         )
 
     return {

@@ -30,6 +30,7 @@ or through the benchmark harness
 import argparse
 import json
 import time
+from functools import partial
 from pathlib import Path
 
 import numpy as np
@@ -115,10 +116,10 @@ def bench_quant_prefill(
     for seq_len in seq_lens:
         params, x, B, C, dt = _scan_inputs(config, seq_len)
         kernel_seq[seq_len] = seq_len / _best_of(
-            lambda: scan.prefill_scan(params, x, B, C, dt, chunk_size=1), repeats
+            partial(scan.prefill_scan, params, x, B, C, dt, chunk_size=1), repeats
         )
         kernel_chunk[seq_len] = seq_len / _best_of(
-            lambda: scan.prefill_scan(params, x, B, C, dt, chunk_size=chunk), repeats
+            partial(scan.prefill_scan, params, x, B, C, dt, chunk_size=chunk), repeats
         )
     series["scan kernel token-by-token (tok/s)"] = kernel_seq
     series["scan kernel chunked (tok/s)"] = kernel_chunk
@@ -131,10 +132,10 @@ def bench_quant_prefill(
         for seq_len in seq_lens:
             tokens = rng.integers(0, config.vocab_size, size=seq_len)
             prefill_seq[seq_len] = seq_len / _best_of(
-                lambda: quantized.prefill(tokens, scan_impl="sequential"), repeats
+                partial(quantized.prefill, tokens, scan_impl="sequential"), repeats
             )
             prefill_chunk[seq_len] = seq_len / _best_of(
-                lambda: quantized.prefill(tokens, scan_impl="chunked", chunk_size=chunk),
+                partial(quantized.prefill, tokens, scan_impl="chunked", chunk_size=chunk),
                 repeats,
             )
         series[f"prefill {label} token-by-token (tok/s)"] = prefill_seq

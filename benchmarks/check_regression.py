@@ -9,23 +9,26 @@ its checks instead of silently eroding the committed trajectory.
 What is compared -- only machine-portable quantities, so the gate is
 meaningful on any CI runner:
 
-- ``BENCH_prefill.json`` / ``BENCH_quant_prefill.json``: speedup ratios
-  (chunked over sequential at equal sequence length -- a ratio, so the
-  runner's absolute speed divides out).  When both records carry a
-  ``smoke_speedup`` section (the committed full runs store one precisely for
-  this), those like-shaped measurements are compared -- warmup order biases
-  the sequential baseline, so a smoke run is only comparable to another
-  smoke-shaped run; otherwise the ``speedup`` sections are compared at their
-  shared sequence lengths.  Higher is better; the fresh value must stay
-  above ``committed * (1 - threshold)``.
+- ``BENCH_prefill.json`` / ``BENCH_quant_prefill.json`` /
+  ``BENCH_int_decode.json``: speedup ratios (fast path over baseline on the
+  same machine -- a ratio, so the runner's absolute speed divides out).
+  When both records carry a ``smoke_speedup`` section (the committed full
+  runs store one precisely for this), those like-shaped measurements are
+  compared -- warmup order biases the baseline, so a smoke run is only
+  comparable to another smoke-shaped run; otherwise the ``speedup`` sections
+  are compared at their shared x-keys.  Higher is better; the fresh value
+  must stay above ``speedup_floor`` (relative band for ordinary positive
+  values, absolute-slack fallback for degenerate zero/negative committed
+  values, which carry no meaningful ratio).
 - ``BENCH_scheduler.json``: the per-policy ``metrics`` sections of the modes
   both records carry (the committed file stores the ``smoke`` workload next
   to ``full`` for exactly this reason).  These are iteration-space scheduler
   metrics -- fully deterministic given the workload seed -- so any drift at
   all means behavior changed; the gate still allows the threshold, but a
   green run normally matches exactly.  Lower is better; the fresh value must
-  stay below ``committed * (1 + threshold)`` (+1 absolute slack for
-  near-zero counters).  Wall-clock throughput entries are ignored.
+  stay below ``metric_ceiling`` -- the relative band widened by an absolute
+  slack, so a clean committed ``0`` (e.g. the paged policy's
+  ``decode_stall_iterations``) can never make CI throw on its own.
 
 Run locally::
 
@@ -35,6 +38,8 @@ Run locally::
         --output benchmarks/output/fresh/BENCH_quant_prefill.json
     PYTHONPATH=src python benchmarks/bench_scheduler.py --smoke \
         --output benchmarks/output/fresh/BENCH_scheduler.json
+    PYTHONPATH=src python benchmarks/bench_int_decode.py --smoke \
+        --output benchmarks/output/fresh/BENCH_int_decode.json
     python benchmarks/check_regression.py
 """
 
@@ -48,7 +53,45 @@ from typing import List
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_FRESH_DIR = REPO_ROOT / "benchmarks" / "output" / "fresh"
-CANONICAL = ("BENCH_prefill.json", "BENCH_quant_prefill.json", "BENCH_scheduler.json")
+CANONICAL = (
+    "BENCH_prefill.json",
+    "BENCH_quant_prefill.json",
+    "BENCH_scheduler.json",
+    "BENCH_int_decode.json",
+)
+
+#: Absolute slack applied when a committed metric is too small (or zero) for a
+#: ratio comparison to be meaningful.  A committed ``0`` (e.g. the paged
+#: policy's ``decode_stall_iterations``) makes ``committed * threshold`` a
+#: zero-width band -- any fresh nonzero value would fail, and a naive
+#: fresh/committed ratio would divide by zero -- so the gate falls back to
+#: ``|fresh - committed| <= ABSOLUTE_SLACK`` instead.
+ABSOLUTE_SLACK = 1.0
+
+
+def speedup_floor(committed_value: float, threshold: float) -> float:
+    """Lowest acceptable fresh value for a higher-is-better ratio metric.
+
+    For an ordinary positive committed value this is the relative band
+    ``committed * (1 - threshold)``.  A zero or negative committed value
+    carries no meaningful ratio (and must never make the gate *stricter*
+    than the committed run, which a sign-blind multiply would): those fall
+    back to the absolute band ``committed - ABSOLUTE_SLACK``.
+    """
+    if committed_value <= 0.0:
+        return committed_value - ABSOLUTE_SLACK
+    return committed_value * (1.0 - threshold)
+
+
+def metric_ceiling(committed_value: float, threshold: float) -> float:
+    """Highest acceptable fresh value for a lower-is-better count metric.
+
+    Relative band plus the absolute slack for near-zero counters; a negative
+    committed value (should not happen for counts, but the gate must not
+    crash or silently tighten on one) widens with ``|committed|`` so the
+    band stays on the correct side.
+    """
+    return committed_value + abs(committed_value) * threshold + ABSOLUTE_SLACK
 
 
 def compare_speedups(name: str, committed: dict, fresh: dict, threshold: float) -> List[str]:
@@ -64,7 +107,7 @@ def compare_speedups(name: str, committed: dict, fresh: dict, threshold: float) 
         for key, committed_value in committed_points.items():
             if key not in fresh_points:
                 continue
-            floor = committed_value * (1.0 - threshold)
+            floor = speedup_floor(committed_value, threshold)
             if fresh_points[key] < floor:
                 failures.append(
                     f"{name}: {section}[{metric!r}][{key}] regressed: "
@@ -90,7 +133,7 @@ def compare_scheduler_metrics(
             for metric, committed_value in committed_entry.get("metrics", {}).items():
                 if metric not in fresh_metrics:
                     continue
-                ceiling = committed_value * (1.0 + threshold) + 1.0
+                ceiling = metric_ceiling(committed_value, threshold)
                 if fresh_metrics[metric] > ceiling:
                     failures.append(
                         f"{name}: modes[{mode!r}][{policy!r}].{metric} regressed: "

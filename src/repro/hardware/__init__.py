@@ -33,7 +33,13 @@ from repro.hardware.platforms import (
 )
 from repro.hardware.resources import ResourceUsage, ResourceReport
 from repro.hardware.dsp import dsp_packing_factor, dsps_for_macs
-from repro.hardware.memory import DramInterface, OnChipBufferModel, BufferAllocation
+from repro.hardware.memory import (
+    DramInterface,
+    OnChipBufferModel,
+    BufferAllocation,
+    QuantizedStateMemoryModel,
+    StateFootprint,
+)
 from repro.hardware.fifo import Fifo
 from repro.hardware.emu import EMUConfig, ElementwiseMultiplyUnit, ssm_operator_costs
 from repro.hardware.mmu import MMUConfig, MatrixMultiplyUnit
@@ -65,6 +71,8 @@ __all__ = [
     "DramInterface",
     "OnChipBufferModel",
     "BufferAllocation",
+    "QuantizedStateMemoryModel",
+    "StateFootprint",
     "Fifo",
     "EMUConfig",
     "ElementwiseMultiplyUnit",

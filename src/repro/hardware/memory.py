@@ -12,11 +12,21 @@ FIFOs and weight tiles).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict
 
 from repro.hardware.platforms import FPGAPlatform
 
-__all__ = ["DramInterface", "OnChipBufferModel", "BufferAllocation"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mamba.config import Mamba2Config
+
+__all__ = [
+    "DramInterface",
+    "OnChipBufferModel",
+    "BufferAllocation",
+    "QuantizedStateMemoryModel",
+    "StateFootprint",
+]
 
 #: Usable bytes of one UltraRAM block (288 Kb).
 URAM_BYTES = 288 * 1024 // 8
@@ -116,3 +126,174 @@ class OnChipBufferModel:
     def allocate_many(self, buffers: dict[str, float]) -> list[BufferAllocation]:
         """Allocate several named buffers at once."""
         return [self.allocate(name, size) for name, size in buffers.items()]
+
+
+@dataclass(frozen=True)
+class StateFootprint:
+    """On-chip footprint of the decode-resident recurrent state.
+
+    All byte counts are for the *whole model* (every layer) at the given
+    batch size; ``allocations`` maps each per-layer buffer to its URAM/BRAM
+    placement (the state buffers are per-layer on the accelerator -- one SSMU
+    tile owns one layer's state at a time).
+
+    ``ssm_state_bytes`` holds the state values themselves -- packed INT codes
+    for a quantized footprint, FP16 floats for the baseline; the scales (the
+    quantized representation's per-group exponents) are accounted separately
+    in ``ssm_scale_bytes`` (zero for the baseline).
+    """
+
+    ssm_state_bytes: float
+    ssm_scale_bytes: float
+    conv_bytes: float
+    allocations: tuple
+
+    @property
+    def total_bytes(self) -> float:
+        return self.ssm_state_bytes + self.ssm_scale_bytes + self.conv_bytes
+
+    @property
+    def uram(self) -> int:
+        """Total URAM blocks across the per-layer state buffers."""
+        return sum(a.uram for a in self.allocations)
+
+    @property
+    def bram(self) -> int:
+        """Total BRAM blocks across the per-layer state buffers."""
+        return sum(a.bram for a in self.allocations)
+
+
+@dataclass(frozen=True)
+class QuantizedStateMemoryModel:
+    """Sizes the on-chip footprint of the integer-resident decode state.
+
+    The persistent-state decode (``SSMQuantConfig.persistent_state``) keeps
+    the recurrent state ``h`` on-chip as INT codes plus one power-of-two
+    scale exponent per quantization group, exactly as the FPGA state buffer
+    stores it; the convolution window stays FP16.  This model converts a
+    :class:`~repro.mamba.config.Mamba2Config` into the per-layer byte / URAM
+    / BRAM costs of that residency so the paper's tiling study (Fig. 7) can
+    compare the quantized state buffer against the FP16 baseline per
+    platform and batch size.
+
+    Attributes
+    ----------
+    state_bits:
+        Code width of the resident SSM state (the paper's SSMU uses INT8).
+    group_size:
+        Quantization group length along ``d_state`` (one scale per group).
+    scale_bytes:
+        Storage of one scale.  PoT scales are a signed shift exponent -- one
+        byte -- which is what makes the resident representation cheap; a
+        non-PoT ablation would need an FP16 multiplier per group (2.0).
+    conv_bytes_per_element:
+        Storage of one convolution-window element (FP16 by default).
+    buffer_model:
+        The URAM/BRAM mapping used for placements.
+    """
+
+    state_bits: int = 8
+    group_size: int = 32
+    scale_bytes: float = 1.0
+    conv_bytes_per_element: float = 2.0
+    buffer_model: OnChipBufferModel = field(default_factory=OnChipBufferModel)
+
+    def __post_init__(self) -> None:
+        if self.state_bits <= 0 or self.group_size <= 0:
+            raise ValueError("state_bits and group_size must be positive")
+        if self.scale_bytes < 0 or self.conv_bytes_per_element <= 0:
+            raise ValueError("byte costs must be positive (scales may be 0 for ablations)")
+
+    # ------------------------------------------------------------------
+    # Element counts
+    # ------------------------------------------------------------------
+    def _per_layer_counts(self, config: "Mamba2Config", batch_size: int) -> Dict[str, float]:
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        state_elems = batch_size * config.nheads * config.headdim * config.d_state
+        group = min(self.group_size, config.d_state)
+        n_groups = -(-config.d_state // group)
+        scale_elems = batch_size * config.nheads * config.headdim * n_groups
+        conv_elems = batch_size * config.conv_dim * config.d_conv
+        return {"state": state_elems, "scales": scale_elems, "conv": conv_elems}
+
+    # ------------------------------------------------------------------
+    # Footprints
+    # ------------------------------------------------------------------
+    def quantized_footprint(
+        self, config: "Mamba2Config", batch_size: int = 1
+    ) -> StateFootprint:
+        """Footprint of the integer-resident state (codes + PoT exponents)."""
+        counts = self._per_layer_counts(config, batch_size)
+        code_bytes = counts["state"] * self.state_bits / 8.0
+        scale_bytes = counts["scales"] * self.scale_bytes
+        conv_bytes = counts["conv"] * self.conv_bytes_per_element
+        allocations = []
+        for layer in range(config.n_layer):
+            allocations.append(
+                self.buffer_model.allocate(f"ssm_state_codes[{layer}]", code_bytes + scale_bytes)
+            )
+            allocations.append(
+                self.buffer_model.allocate(f"conv_window[{layer}]", conv_bytes)
+            )
+        return StateFootprint(
+            ssm_state_bytes=code_bytes * config.n_layer,
+            ssm_scale_bytes=scale_bytes * config.n_layer,
+            conv_bytes=conv_bytes * config.n_layer,
+            allocations=tuple(allocations),
+        )
+
+    def fp16_footprint(self, config: "Mamba2Config", batch_size: int = 1) -> StateFootprint:
+        """Footprint of the FP16-resident baseline (no codes, no scales)."""
+        counts = self._per_layer_counts(config, batch_size)
+        state_bytes = counts["state"] * 2.0
+        conv_bytes = counts["conv"] * self.conv_bytes_per_element
+        allocations = []
+        for layer in range(config.n_layer):
+            allocations.append(
+                self.buffer_model.allocate(f"ssm_state_fp16[{layer}]", state_bytes)
+            )
+            allocations.append(
+                self.buffer_model.allocate(f"conv_window[{layer}]", conv_bytes)
+            )
+        return StateFootprint(
+            ssm_state_bytes=state_bytes * config.n_layer,
+            ssm_scale_bytes=0.0,
+            conv_bytes=conv_bytes * config.n_layer,
+            allocations=tuple(allocations),
+        )
+
+    def compression_ratio(self, config: "Mamba2Config", batch_size: int = 1) -> float:
+        """FP16-resident bytes over integer-resident bytes (> 1 is a win)."""
+        return (
+            self.fp16_footprint(config, batch_size).total_bytes
+            / self.quantized_footprint(config, batch_size).total_bytes
+        )
+
+    def max_resident_batch(
+        self, config: "Mamba2Config", platform: FPGAPlatform, uram_budget_fraction: float = 0.7
+    ) -> int:
+        """Largest batch whose quantized state fits the platform's URAM budget.
+
+        The paper reports the SSM intermediate buffers consuming >70% of
+        URAM before tiling; this inverts the model -- how many concurrent
+        requests' resident state fit in ``uram_budget_fraction`` of the
+        platform's URAM -- which bounds the serving engine's useful
+        ``max_batch_size`` on that device.  Returns 0 when even batch 1 does
+        not fit.
+        """
+        if not 0.0 < uram_budget_fraction <= 1.0:
+            raise ValueError("uram_budget_fraction must be in (0, 1]")
+        budget = platform.uram * uram_budget_fraction
+        if self.quantized_footprint(config, 1).uram > budget:
+            return 0
+        lo, hi = 1, 2
+        while self.quantized_footprint(config, hi).uram <= budget:
+            lo, hi = hi, hi * 2
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if self.quantized_footprint(config, mid).uram <= budget:
+                lo = mid
+            else:
+                hi = mid
+        return lo

@@ -35,7 +35,7 @@ from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.mamba.cache import LayerCache
+from repro.mamba.cache import LayerCache, QuantizedSSMState
 from repro.mamba.config import Mamba2Config
 from repro.mamba.conv1d import CausalConv1d
 from repro.mamba.rmsnorm import GatedRMSNorm, RMSNorm
@@ -323,11 +323,15 @@ class MambaBlock:
             # by token; a batch-capable implementation advances all rows in
             # one call per token, otherwise fall back to per-row stepping.
             lead = u.shape[:1] if batched else ()
-            state = (
-                np.zeros(lead + (cfg.nheads, cfg.headdim, cfg.d_state))
-                if cache is None
-                else cache.ssm_state.copy()
-            )
+            if cache is None:
+                state = np.zeros(lead + (cfg.nheads, cfg.headdim, cfg.d_state))
+            elif isinstance(cache.ssm_state, QuantizedSSMState):
+                # An integer-resident cache driven through the per-token
+                # oracle: loop on the float view (bit-identical under PoT --
+                # the codes are on-grid) and re-quantize at the store below.
+                state = cache.ssm_state.dequantize()
+            else:
+                state = cache.ssm_state.copy()
             y_heads = np.zeros_like(x_heads)
             if batched and getattr(self.ssm_impl, "supports_batched", False):
                 if seq_lens is None:
@@ -368,6 +372,13 @@ class MambaBlock:
             out = out + self.out_proj_bias
 
         if cache is not None:
+            if isinstance(cache.ssm_state, QuantizedSSMState) and not isinstance(
+                final_state, QuantizedSSMState
+            ):
+                # The per-token oracle above ran on the float view; hand the
+                # state back to the integer-resident cache as codes (exact:
+                # on-grid PoT re-quantization is the identity).
+                final_state = self.ssm_impl.quantize_state_codes(final_state)
             cache.ssm_state = final_state
             # Roll the convolution window forward: the last d_conv samples of
             # previous-window + new inputs, taken at each row's true length.

@@ -13,6 +13,15 @@ serving engine manages request lifetimes with :meth:`gather` (select / compact
 rows, e.g. to evict finished requests) and :meth:`scatter` (write rows back,
 e.g. to admit a freshly prefilled request into a running batch);
 :meth:`stack` / :meth:`row` convert between batched and per-request caches.
+
+Quantized models with a *persistent integer state* (the FPGA keeps ``h``
+resident on-chip as INT codes, Sec. V of the paper) use
+:class:`QuantizedLayerCache`: its ``ssm_state`` holds a
+:class:`QuantizedSSMState` -- integer codes plus per-group scales -- instead of
+a float array, and all of the request-lifetime operations above move the codes
+directly, so admission / eviction never round-trips the state through floats.
+The quantization logic itself lives in :mod:`repro.quant.ssm_quant`; this
+module only defines the mechanical containers (pure numpy, no quant imports).
 """
 
 from __future__ import annotations
@@ -24,7 +33,111 @@ import numpy as np
 
 from repro.mamba.config import Mamba2Config
 
-__all__ = ["LayerCache", "InferenceCache"]
+__all__ = ["LayerCache", "InferenceCache", "QuantizedSSMState", "QuantizedLayerCache"]
+
+
+@dataclass
+class QuantizedSSMState:
+    """The SSM hidden state ``h`` resident as integer codes + scales.
+
+    This is the software twin of the FPGA's on-chip state buffer: between
+    decode steps the state exists only as ``codes`` (INT ``bits`` values
+    stored in an int32 array) and ``scales`` (one power-of-two scale per
+    ``group_size`` run along the trailing ``d_state`` axis, shaped
+    ``(..., nheads, headdim, n_groups, 1)`` so it multiplies the
+    group-reshaped view of ``codes``).  The container is purely mechanical --
+    producing codes from floats is the quantizer's job
+    (:class:`repro.quant.ssm_quant.QuantizedSSMStep`); here we only hold,
+    copy, and row-shuffle them for the serving engine's admission / eviction.
+
+    ``codes`` has the exact shape a float ``ssm_state`` would have
+    (``(nheads, headdim, d_state)``, plus an optional leading batch axis), so
+    every batched row operation is a plain leading-axis index on both arrays.
+    """
+
+    codes: np.ndarray
+    scales: np.ndarray
+    group_size: int
+    bits: int = 8
+
+    @property
+    def shape(self) -> tuple:
+        return self.codes.shape
+
+    @property
+    def batch_size(self) -> Optional[int]:
+        """Leading batch dimension, or ``None`` for a single-sequence state."""
+        return self.codes.shape[0] if self.codes.ndim == 4 else None
+
+    def dequantize(self) -> np.ndarray:
+        """Reconstruct the float state (``codes * scales``, group-wise).
+
+        This is the cheap direction -- a multiply, no absmax / rounding -- and
+        the only numeric operation the container performs itself.
+        """
+        d_state = self.codes.shape[-1]
+        group = min(self.group_size, d_state)
+        n_groups = -(-d_state // group)
+        pad = n_groups * group - d_state
+        codes = self.codes.astype(np.float64)
+        if pad:
+            pad_width = [(0, 0)] * (codes.ndim - 1) + [(0, pad)]
+            codes = np.pad(codes, pad_width)
+        grouped = codes.reshape(*codes.shape[:-1], n_groups, group)
+        values = (grouped * self.scales).reshape(*codes.shape[:-1], -1)
+        if pad:
+            values = values[..., :d_state]
+        return values
+
+    def copy(self) -> "QuantizedSSMState":
+        return QuantizedSSMState(
+            self.codes.copy(), self.scales.copy(), self.group_size, self.bits
+        )
+
+    def gather(self, indices) -> "QuantizedSSMState":
+        indices = np.asarray(indices, dtype=np.int64)
+        return QuantizedSSMState(
+            self.codes[indices].copy(),
+            self.scales[indices].copy(),
+            self.group_size,
+            self.bits,
+        )
+
+    def scatter(self, indices, src: "QuantizedSSMState") -> None:
+        indices = np.asarray(indices, dtype=np.int64)
+        self.codes[indices] = src.codes
+        self.scales[indices] = src.scales
+
+    def row(self, index: int) -> "QuantizedSSMState":
+        return QuantizedSSMState(
+            self.codes[index].copy(),
+            self.scales[index].copy(),
+            self.group_size,
+            self.bits,
+        )
+
+    @classmethod
+    def stack(cls, states: Sequence["QuantizedSSMState"]) -> "QuantizedSSMState":
+        first = states[0]
+        return cls(
+            codes=np.stack([s.codes for s in states]),
+            scales=np.stack([s.scales for s in states]),
+            group_size=first.group_size,
+            bits=first.bits,
+        )
+
+    def num_elements(self) -> int:
+        """Scalars held by the resident state (codes plus scales)."""
+        return int(self.codes.size + self.scales.size)
+
+    def num_bytes(self) -> float:
+        """Resident footprint: packed codes plus one exponent byte per scale.
+
+        PoT scales are stored as a signed power-of-two exponent, one byte
+        each -- the hardware representation the paper's on-chip state buffer
+        uses (re-quantization is a shift, so no mantissa is ever needed).
+        """
+        return self.codes.size * self.bits / 8.0 + self.scales.size * 1.0
 
 
 @dataclass
@@ -107,6 +220,82 @@ class LayerCache:
 
 
 @dataclass
+class QuantizedLayerCache(LayerCache):
+    """A :class:`LayerCache` whose SSM state is integer-resident.
+
+    ``conv_state`` stays a float array (the short convolution window is tiny
+    and not quantized between steps); ``ssm_state`` holds a
+    :class:`QuantizedSSMState` instead of floats.  A model whose blocks carry
+    a persistent-state quantized ``ssm_impl``
+    (:class:`repro.quant.ssm_quant.QuantizedSSMStep` with
+    ``persistent_state=True``) builds these through
+    :meth:`Mamba2Model.new_cache <repro.mamba.model.Mamba2Model.new_cache>`;
+    the serving engine's gather / scatter / stack / row then carry codes, not
+    floats, exactly like the FPGA's on-chip state buffer.
+    """
+
+    # ``ssm_state`` (inherited field) holds a QuantizedSSMState here.
+
+    @classmethod
+    def zeros(cls, config: Mamba2Config, batch_size: Optional[int] = None) -> "LayerCache":
+        raise TypeError(
+            "a QuantizedLayerCache is built by the quantized step's "
+            "zeros_cache(...) (see Mamba2Model.new_cache): only the quantizer "
+            "knows the state grid, so LayerCache.zeros cannot construct one"
+        )
+
+    @property
+    def batch_size(self) -> Optional[int]:
+        return self.conv_state.shape[0] if self.conv_state.ndim == 3 else None
+
+    def copy(self) -> "QuantizedLayerCache":
+        return QuantizedLayerCache(self.conv_state.copy(), self.ssm_state.copy())
+
+    def gather(self, indices) -> "QuantizedLayerCache":
+        self._require_batched("gather")
+        indices = np.asarray(indices, dtype=np.int64)
+        return QuantizedLayerCache(
+            self.conv_state[indices].copy(), self.ssm_state.gather(indices)
+        )
+
+    def scatter(self, indices, src: "LayerCache") -> None:
+        self._require_batched("scatter")
+        indices = np.asarray(indices, dtype=np.int64)
+        if src.batch_size != indices.size:
+            raise ValueError(
+                f"scatter needs one src row per index: {indices.size} indices "
+                f"but src batch size is {src.batch_size}"
+            )
+        if not isinstance(src.ssm_state, QuantizedSSMState):
+            raise TypeError(
+                "scatter into a QuantizedLayerCache needs integer-resident "
+                "source rows (QuantizedSSMState), not a float state"
+            )
+        self.conv_state[indices] = src.conv_state
+        self.ssm_state.scatter(indices, src.ssm_state)
+
+    def row(self, index: int) -> "QuantizedLayerCache":
+        self._require_batched("row")
+        return QuantizedLayerCache(
+            self.conv_state[index].copy(), self.ssm_state.row(index)
+        )
+
+    @classmethod
+    def stack(cls, caches: Sequence["LayerCache"]) -> "QuantizedLayerCache":
+        if not caches:
+            raise ValueError("cannot stack an empty sequence of caches")
+        if any(c.batch_size is not None for c in caches):
+            raise ValueError("stack expects single-sequence (unbatched) caches")
+        return cls(
+            conv_state=np.stack([c.conv_state for c in caches]),
+            ssm_state=QuantizedSSMState.stack([c.ssm_state for c in caches]),
+        )
+
+    def num_elements(self) -> int:
+        return int(self.conv_state.size) + self.ssm_state.num_elements()
+
+
+@dataclass
 class InferenceCache:
     """Recurrent state of the full model (one :class:`LayerCache` per block)."""
 
@@ -157,7 +346,10 @@ class InferenceCache:
             raise ValueError("all caches must have the same layer count")
         return cls(
             layers=[
-                LayerCache.stack([c.layers[i] for c in caches]) for i in range(n_layer)
+                # Dispatch on the concrete layer class so a QuantizedLayerCache
+                # stacks into a QuantizedLayerCache (codes stay codes).
+                type(caches[0].layers[i]).stack([c.layers[i] for c in caches])
+                for i in range(n_layer)
             ]
         )
 

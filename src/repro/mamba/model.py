@@ -20,7 +20,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.mamba.block import MambaBlock
-from repro.mamba.cache import InferenceCache
+from repro.mamba.cache import InferenceCache, LayerCache
 from repro.mamba.config import Mamba2Config
 from repro.mamba.init import InitConfig, init_block_params, init_embedding
 from repro.mamba.rmsnorm import RMSNorm
@@ -165,6 +165,27 @@ class Mamba2Model:
     # ------------------------------------------------------------------
     # Decode
     # ------------------------------------------------------------------
+    def new_cache(self, batch_size: Optional[int] = None) -> InferenceCache:
+        """A fresh zero inference cache matching each block's state layout.
+
+        Blocks whose ``ssm_impl`` keeps the recurrent state integer-resident
+        (``state_resident`` capability -- the persistent-state quantized step)
+        receive a :class:`~repro.mamba.cache.QuantizedLayerCache` holding zero
+        codes; all other blocks get the float
+        :class:`~repro.mamba.cache.LayerCache`.  This is the factory every
+        decode entry point (:meth:`prefill`, the serving engine's slot pool)
+        uses, so the resident representation is threaded through admission /
+        eviction automatically.
+        """
+        layers = []
+        for block in self.blocks:
+            impl = block.ssm_impl
+            if impl is not None and getattr(impl, "state_resident", False):
+                layers.append(impl.zeros_cache(self.config, batch_size))
+            else:
+                layers.append(LayerCache.zeros(self.config, batch_size))
+        return InferenceCache(layers=layers)
+
     def prefill(
         self,
         tokens: np.ndarray,
@@ -203,9 +224,17 @@ class Mamba2Model:
         tokens = np.asarray(tokens, dtype=np.int64)
         if tokens.ndim not in (1, 2):
             raise ValueError("tokens must have shape (seq_len,) or (batch, seq_len)")
+        if tokens.shape[-1] == 0:
+            # Guard the zero-length prompt here so callers get a clear error
+            # instead of an index error from the last-token logit extraction
+            # (an empty prompt should be encoded as BOS-only upstream).
+            raise ValueError(
+                "prefill needs at least one token per prompt; encode an empty "
+                "prompt as a single BOS token instead"
+            )
         batch_size = tokens.shape[0] if tokens.ndim == 2 else None
         if cache is None:
-            cache = InferenceCache.zeros(self.config, batch_size=batch_size)
+            cache = self.new_cache(batch_size=batch_size)
         elif cache.batch_size != batch_size:
             raise ValueError(
                 f"cache batch size {cache.batch_size} does not match tokens batch "

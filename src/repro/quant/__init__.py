@@ -45,7 +45,7 @@ from repro.quant.hadamard import (
 from repro.quant.pot import pot_quantize_scale, pot_quantize_dequantize, shift_requantize
 from repro.quant.rotation import RotationConfig, RotatedModel, rotate_model, OnlineHadamard
 from repro.quant.ssm_quant import SSMQuantConfig, QuantizedSSMStep, QuantizedChunkedScan
-from repro.quant.qlinear import QuantizedLinear
+from repro.quant.qlinear import QuantizedLinear, grouped_integer_matmul
 from repro.quant.qmodel import QuantMethod, QuantConfig, quantize_model
 from repro.quant.calibration import CalibrationResult, collect_activation_stats
 
@@ -89,6 +89,7 @@ __all__ = [
     "QuantizedSSMStep",
     "QuantizedChunkedScan",
     "QuantizedLinear",
+    "grouped_integer_matmul",
     "QuantMethod",
     "QuantConfig",
     "quantize_model",

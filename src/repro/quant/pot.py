@@ -27,16 +27,29 @@ __all__ = [
 ]
 
 
+#: Scale floor shared with :data:`repro.quant.quantizer._EPS`: an all-zero
+#: quantization group has absmax 0 and therefore no information to derive a
+#: scale from; it snaps to this floor (ceil-PoT rounding ``2**-39``) so its
+#: codes are all zero and decode back to exact zeros.
+_MIN_SCALE = 1e-12
+
+
 def pot_quantize_scale(scale: np.ndarray | float, rounding: str = "ceil") -> np.ndarray:
-    """Snap positive scales to powers of two.
+    """Snap non-negative scales to powers of two.
 
     ``rounding='ceil'`` never reduces the representable range (no extra
     clipping); ``'nearest'`` minimises the scale error.
+
+    A zero scale -- the absmax of an all-zero quantization group -- is
+    well-defined: it snaps to the power of two at the :data:`_MIN_SCALE`
+    floor instead of raising or emitting a ``log2(0)`` warning, matching the
+    quantizer's behavior (zero codes, exact-zero reconstruction).  Negative
+    scales are still rejected.
     """
     scale = np.asarray(scale, dtype=np.float64)
-    if np.any(scale <= 0):
-        raise ValueError("scales must be positive")
-    log2 = np.log2(scale)
+    if np.any(scale < 0):
+        raise ValueError("scales must be non-negative")
+    log2 = np.log2(np.maximum(scale, _MIN_SCALE))
     if rounding == "ceil":
         exponent = np.ceil(log2)
     elif rounding == "nearest":

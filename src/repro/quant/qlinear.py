@@ -31,7 +31,82 @@ from repro.quant.quantizer import (
 )
 from repro.quant.rtn import activation_quantizer_config, weight_quantizer_config
 
-__all__ = ["QuantizedLinear"]
+__all__ = ["QuantizedLinear", "grouped_integer_matmul"]
+
+
+def grouped_integer_matmul(
+    x_codes: np.ndarray,
+    x_scales: np.ndarray,
+    w_codes: np.ndarray,
+    w_scales: np.ndarray,
+    *,
+    group_size: int,
+    x_qmax: int,
+    w_qmax: int,
+) -> np.ndarray:
+    """Per-group integer contraction with a true INT32 accumulator.
+
+    Computes ``out[..., m, n] = sum_k x[..., m, k] * w[..., n, k]`` over the
+    shared trailing axis, one quantization group at a time: each group's
+    partial products are summed in int32 -- the MMU's accumulator width --
+    and only then scaled in floating point by the operands' per-group scales.
+    This is the execution model of the FPGA matrix unit, shared by
+    :meth:`QuantizedLinear.forward_integer` and the integer-exact chunk body
+    of :class:`repro.quant.ssm_quant.QuantizedChunkedScan`.
+
+    Parameters
+    ----------
+    x_codes, w_codes:
+        Integer codes of shape ``(..., M, K)`` / ``(..., N, K)``; leading
+        axes broadcast against each other (stacked matmul semantics).
+    x_scales, w_scales:
+        Per-group scales of shape ``(..., M, n_groups)`` / ``(..., N,
+        n_groups)`` where ``n_groups = ceil(K / min(group_size, K))``.
+    group_size:
+        Quantization group length along the contraction axis (clamped to
+        ``K`` like the quantizers do).
+    x_qmax, w_qmax:
+        Largest code magnitudes of the two operands, used for the static
+        overflow guarantee: the worst-case partial-sum magnitude of the
+        *configuration* (``group_len * x_qmax * w_qmax``) is checked against
+        the int32 range, mirroring the hardware's static analysis -- an
+        unsafe configuration raises :class:`OverflowError` deterministically
+        on its first use, independent of the data, instead of silently
+        wrapping on the unlucky batch.
+    """
+    in_features = x_codes.shape[-1]
+    if w_codes.shape[-1] != in_features:
+        raise ValueError("x_codes and w_codes must share the contraction axis length")
+    group = min(group_size, in_features)
+    if group <= 0:
+        raise ValueError("group_size must be positive")
+    n_groups = -(-in_features // group)
+    if x_scales.shape[-1] != n_groups or w_scales.shape[-1] != n_groups:
+        raise ValueError(
+            f"scales must carry {n_groups} groups for K={in_features}, "
+            f"group={group}; got {x_scales.shape[-1]} / {w_scales.shape[-1]}"
+        )
+
+    worst_case = group * int(x_qmax) * int(w_qmax)
+    if worst_case >= 2**31:
+        raise OverflowError(
+            f"per-group partial sum can reach {worst_case}, which does not fit "
+            "the INT32 accumulator (group length x code widths too large)"
+        )
+    x32 = x_codes.astype(np.int32)
+    w32 = w_codes.astype(np.int32)
+
+    out: Optional[np.ndarray] = None
+    for g in range(n_groups):
+        lo, hi = g * group, min((g + 1) * group, in_features)
+        acc = x32[..., :, lo:hi] @ np.swapaxes(w32[..., :, lo:hi], -1, -2)
+        term = (
+            acc.astype(np.float64)
+            * x_scales[..., :, g, None]
+            * w_scales[..., None, :, g]
+        )
+        out = term if out is None else out + term
+    return out
 
 
 @dataclass
@@ -120,41 +195,30 @@ class QuantizedLinear:
         return out.reshape(*x.shape[:-1], self.out_features)
 
     def _grouped_integer_matmul(self, x_codes, act_qt, w_codes, w_qt) -> np.ndarray:
-        """Per-group integer matmul with a true INT32 accumulator.
+        """Per-group integer matmul over the layer's codes.
 
-        Each group's partial products are summed in int32 -- the MMU's
-        accumulator width -- and only then scaled in floating point.  The
-        worst-case partial-sum magnitude of the *configuration*
-        (``group_len * qmax_act * qmax_weight``) is checked against the int32
-        range, mirroring the hardware's static overflow guarantee: an unsafe
-        configuration raises :class:`OverflowError` deterministically on its
-        first use, independent of the activation data, instead of silently
-        wrapping on the unlucky batch.
+        Normalises the activation / weight scales to per-(row, group)
+        matrices and delegates the int32-accumulator contraction (and the
+        static overflow guarantee) to :func:`grouped_integer_matmul`, the
+        helper shared with the quantized SSM chunk body.
         """
         in_features = self.in_features
         group = min(self.act_config.group_size, in_features)
         if w_qt.config.granularity is Granularity.PER_GROUP:
             group = min(group, w_qt.config.group_size)
-        n_groups = -(-in_features // group)
-
-        worst_case = group * self.act_config.spec.qmax * w_qt.config.spec.qmax
-        if worst_case >= 2**31:
-            raise OverflowError(
-                f"per-group partial sum can reach {worst_case}, which does not fit "
-                "the INT32 accumulator (group length x code widths too large)"
-            )
-        x32 = x_codes.astype(np.int32)
-        w32 = w_codes.astype(np.int32)
 
         tokens = x_codes.shape[0]
-        out = np.zeros((tokens, self.out_features), dtype=np.float64)
         a_scales = self._expand_group_scales(act_qt, tokens, in_features, group)
         w_scales = self._expand_group_scales(w_qt, self.out_features, in_features, group)
-        for g in range(n_groups):
-            lo, hi = g * group, min((g + 1) * group, in_features)
-            acc = x32[:, lo:hi] @ w32[:, lo:hi].T  # int32 @ int32 -> int32
-            out += acc.astype(np.float64) * a_scales[:, g][:, None] * w_scales[:, g][None, :]
-        return out
+        return grouped_integer_matmul(
+            x_codes,
+            a_scales,
+            w_codes,
+            w_scales,
+            group_size=group,
+            x_qmax=self.act_config.spec.qmax,
+            w_qmax=w_qt.config.spec.qmax,
+        )
 
     @staticmethod
     def _expand_group_scales(qt: QuantizedTensor, rows: int, in_features: int, group: int) -> np.ndarray:

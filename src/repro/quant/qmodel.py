@@ -18,6 +18,15 @@ Method                    Transformation before RTN rounding
 Weights are fake-quantized in place; activations are quantized at run time by
 hooks installed on each block (``pre_in_proj`` / ``pre_out_proj``), composed
 with the method's runtime transformation (OS+ shift, online Hadamard).
+
+For the ``lightmamba*`` configurations the SSM execution mode is selected by
+the ``ssm`` field of :class:`QuantConfig` (see
+:class:`~repro.quant.ssm_quant.SSMQuantConfig`): the defaults give the
+fake-quant simulation used for accuracy studies, while
+``persistent_state=True`` (integer-resident decode state, bit-identical
+under PoT) and ``integer_chunk_body=True`` (INT32-accumulator prefill chunk
+contractions) move serving runs onto the FPGA's integer execution model --
+``Mamba2Model.new_cache`` then builds integer-resident caches automatically.
 """
 
 from __future__ import annotations

@@ -21,6 +21,40 @@ Two inference engines are provided:
   which :meth:`MambaBlock.forward <repro.mamba.block.MambaBlock.forward>`
   routes the ``scan_impl="chunked"`` prefill through -- this is how the
   LightMamba* configurations inherit the chunked prefill fast path.
+
+Fake-quant vs. integer-resident execution
+-----------------------------------------
+
+By default both engines run in *fake-quant* float: every operand is
+round-tripped through its integer grid but stored and combined as float64.
+That is the right mode for accuracy studies -- it is cheap, and provably
+equivalent to integer execution for the linear layers
+(:meth:`repro.quant.qlinear.QuantizedLinear.forward_integer`).
+
+Two :class:`SSMQuantConfig` switches move the simulation closer to what the
+FPGA actually executes:
+
+- ``persistent_state=True`` keeps the recurrent state ``h`` *resident* as INT
+  codes + PoT scales between decode steps (a
+  :class:`~repro.mamba.cache.QuantizedSSMState` inside a
+  :class:`~repro.mamba.cache.QuantizedLayerCache`), exactly like the on-chip
+  state buffer: step entry is a cheap ``codes * scales`` dequantize instead
+  of a full re-quantization of the float state.  Because on-grid PoT
+  re-quantization is idempotent, this mode is **bit-identical** to fake-quant
+  decode while removing the per-token quantize -> dequantize -> quantize
+  state round trip (requires ``quantize_state`` and ``pot_scale``).
+- ``integer_chunk_body=True`` runs the prefill chunk body's two ``d_state``
+  contractions (the ``C B^T`` interaction matrix and the carried-state
+  ``h . C`` readout) on true INT32 accumulators over the raw codes --
+  the MMU execution model, sharing
+  :func:`repro.quant.qlinear.grouped_integer_matmul` and its static overflow
+  guard with the quantized linear layers (requires ``quantize_products``).
+
+Use fake-quant (the defaults) for algorithm/accuracy work; enable the
+integer-resident modes when the run should mirror the hardware datapath --
+serving benchmarks, the URAM/BRAM state-footprint study
+(:class:`repro.hardware.memory.QuantizedStateMemoryModel`), or any test of
+the accelerator's integer semantics.
 """
 
 from __future__ import annotations
@@ -30,10 +64,19 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.mamba.cache import QuantizedLayerCache, QuantizedSSMState
+from repro.mamba.config import Mamba2Config
 from repro.mamba.ops import softplus
 from repro.mamba.ssm import SSMParams, _validate_seq_lens, ssm_decay, ssm_scan
 from repro.quant.dtypes import Granularity, IntSpec
-from repro.quant.quantizer import QuantizerConfig, quantize_dequantize
+from repro.quant.qlinear import grouped_integer_matmul
+from repro.quant.quantizer import (
+    QuantizedTensor,
+    QuantizerConfig,
+    dequantize,
+    quantize,
+    quantize_dequantize,
+)
 
 __all__ = ["SSMQuantConfig", "QuantizedSSMStep", "QuantizedChunkedScan"]
 
@@ -60,6 +103,16 @@ class SSMQuantConfig:
         Re-quantize every element-wise product (the re-quantization whose
         hardware cost Fig. 3 analyses).  Disabling keeps products at high
         precision until the output.
+    persistent_state:
+        Keep the recurrent state resident as INT codes + PoT scales between
+        steps (the on-chip state buffer execution model).  Bit-identical to
+        the fake-quant decode -- PoT re-quantization of an on-grid state is
+        idempotent -- but removes the per-token state round trip.  Requires
+        ``quantize_state`` and ``pot_scale``.
+    integer_chunk_body:
+        Run the prefill chunk body's ``C B^T`` and ``h . C`` contractions on
+        INT32 accumulators over the raw codes (the MMU execution model, with
+        its static overflow guard).  Requires ``quantize_products``.
     """
 
     bits: int = 8
@@ -67,6 +120,21 @@ class SSMQuantConfig:
     pot_scale: bool = True
     quantize_state: bool = True
     quantize_products: bool = True
+    persistent_state: bool = False
+    integer_chunk_body: bool = False
+
+    def __post_init__(self) -> None:
+        if self.persistent_state and not (self.quantize_state and self.pot_scale):
+            raise ValueError(
+                "persistent_state keeps h as INT codes + PoT scales; it requires "
+                "quantize_state=True and pot_scale=True"
+            )
+        if self.integer_chunk_body and not (self.quantize_products and self.quantize_state):
+            raise ValueError(
+                "integer_chunk_body contracts the raw codes of the re-quantized "
+                "products and of the carried state; it requires "
+                "quantize_products=True and quantize_state=True"
+            )
 
     def config(self, granularity: Granularity = Granularity.PER_GROUP) -> QuantizerConfig:
         """Build the underlying :class:`QuantizerConfig`."""
@@ -107,6 +175,17 @@ class QuantizedSSMStep:
         # (D array, D[:, None]) derived on first use (see _d_col).
         self._static_cache: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
+    @property
+    def state_resident(self) -> bool:
+        """Whether this step keeps the recurrent state as integer codes.
+
+        :meth:`Mamba2Model.new_cache <repro.mamba.model.Mamba2Model.new_cache>`
+        checks this capability to decide between a float
+        :class:`~repro.mamba.cache.LayerCache` and an integer-resident
+        :class:`~repro.mamba.cache.QuantizedLayerCache` for the block.
+        """
+        return self.config.persistent_state
+
     def _q(self, x: np.ndarray) -> np.ndarray:
         """Fake-quantize a tensor on the configured grid."""
         return quantize_dequantize(x, self._qcfg)
@@ -116,6 +195,60 @@ class QuantizedSSMStep:
         if not self.config.quantize_products:
             return x
         return quantize_dequantize(x, self._qcfg)
+
+    # ------------------------------------------------------------------
+    # Integer-resident state plumbing
+    # ------------------------------------------------------------------
+    def quantize_state_codes(self, state: np.ndarray) -> QuantizedSSMState:
+        """Quantize a float state into the resident codes + scales container.
+
+        For a state that is already on the PoT grid (every state this class
+        ever hands out) the quantization is exact, so converting between the
+        float and resident representations never changes the carried values.
+        """
+        qt = quantize(np.asarray(state, dtype=np.float64), self._qcfg)
+        return QuantizedSSMState(
+            codes=qt.codes,
+            scales=qt.scales,
+            group_size=self.config.group_size,
+            bits=self.config.bits,
+        )
+
+    def _state_values(self, state) -> np.ndarray:
+        """The float view of an incoming state, quantized onto the grid.
+
+        A resident :class:`QuantizedSSMState` dequantizes directly (its codes
+        are on the grid by construction -- no absmax / rounding pass); a float
+        state goes through the fake-quant round trip when ``quantize_state``
+        is enabled, exactly as before.
+        """
+        if isinstance(state, QuantizedSSMState):
+            return state.dequantize()
+        state = np.asarray(state, dtype=np.float64)
+        if self.config.quantize_state:
+            state = self._q(state)
+        return state
+
+    def zeros_cache(
+        self, config: Mamba2Config, batch_size: Optional[int] = None
+    ) -> QuantizedLayerCache:
+        """A fresh integer-resident layer cache (zero codes, epsilon scales).
+
+        An all-zero state quantizes to all-zero codes with the quantizer's
+        well-defined minimum scale (see :func:`repro.quant.quantizer.compute_scales`
+        and the all-zero-group handling of :func:`repro.quant.pot.pot_quantize_scale`),
+        so the zero cache decodes back to exact zeros.
+        """
+        lead = () if batch_size is None else (batch_size,)
+        state = np.zeros(
+            lead + (config.nheads, config.headdim, config.d_state), dtype=np.float64
+        )
+        return QuantizedLayerCache(
+            conv_state=np.zeros(
+                lead + (config.conv_dim, config.d_conv), dtype=np.float64
+            ),
+            ssm_state=self.quantize_state_codes(state),
+        )
 
     def _d_col(self, params: SSMParams) -> np.ndarray:
         """The skip coefficient broadcast column ``D[:, None]``, cached.
@@ -141,14 +274,22 @@ class QuantizedSSMStep:
         dt: np.ndarray,
         state: np.ndarray,
     ) -> Tuple[np.ndarray, np.ndarray]:
-        """Advance the quantized recurrence one token (``ssm_impl`` signature)."""
+        """Advance the quantized recurrence one token (``ssm_impl`` signature).
+
+        ``state`` may be a float array (fake-quant mode: re-quantized on
+        entry when ``quantize_state`` is set) or a resident
+        :class:`~repro.mamba.cache.QuantizedSSMState` (integer-resident
+        mode: its codes dequantize directly, and the returned new state is a
+        resident container again -- codes in, codes out).  Under PoT scales
+        the two modes produce bit-identical outputs, because re-quantizing an
+        on-grid state is the identity.
+        """
         d_col = self._d_col(params)
+        resident = isinstance(state, QuantizedSSMState)
         x = self._q(np.asarray(x, dtype=np.float64))
         B = self._q(np.asarray(B, dtype=np.float64))
         C = self._q(np.asarray(C, dtype=np.float64))
-        state = np.asarray(state, dtype=np.float64)
-        if self.config.quantize_state:
-            state = self._q(state)
+        state = self._state_values(state)
 
         # Non-linear operators stay in floating point (dedicated FPGA units);
         # the decay pair is computed once per step by the shared helper.
@@ -158,14 +299,21 @@ class QuantizedSSMStep:
         b_mul_x = self._qp(delta_mul_b[..., :, None, :] * x[..., :, :, None])  # B_bar (.) x
         a_mul_h = self._qp(a_bar[..., :, None, None] * state)                  # A_bar (.) h
         new_state = a_mul_h + b_mul_x
-        if self.config.quantize_state:
+        out_state = new_state
+        if resident:
+            # One quantization pass: the codes become the resident state and
+            # their dequantized view feeds the readout below.
+            out_state = self.quantize_state_codes(new_state)
+            new_state = out_state.dequantize()
+        elif self.config.quantize_state:
             new_state = self._q(new_state)
+            out_state = new_state
 
         h_mul_c = self._qp(new_state * C[..., None, None, :])                  # h (.) C
         y_ssm = np.sum(h_mul_c, axis=-1)
         x_mul_d = self._qp(d_col * x)                                          # x (.) D
         y = y_ssm + x_mul_d
-        return y, new_state
+        return y, out_state
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -233,10 +381,28 @@ class QuantizedChunkedScan(QuantizedSSMStep):
         batch -- the returned state rows are then snapshots at each row's
         true last token.
 
+        ``initial_state`` may also be a resident
+        :class:`~repro.mamba.cache.QuantizedSSMState` (codes in, codes out):
+        the scan then starts from the dequantized codes -- which are on the
+        grid already, so the chunk-entry quantization is skipped -- and the
+        returned final state (or per-row ``seq_lens`` snapshot) is a resident
+        container again, keeping segmented serving prefills integer-resident
+        end to end.
+
+        With ``integer_chunk_body`` the two ``d_state`` contractions of the
+        chunk body (the dense ``C B^T`` interaction and the carried-state
+        ``h . C`` readout) run on INT32 accumulators over the raw codes via
+        :func:`repro.quant.qlinear.grouped_integer_matmul` -- the MMU
+        execution model, including its static overflow guard.  Under PoT
+        scales every partial product is exactly representable, so the
+        integer body agrees with the float chunk body to the last bit of the
+        accumulation order.
+
         Returns ``(y, final_state)`` with ``y`` shaped like ``x``.
         """
         if chunk_size <= 0:
             raise ValueError("chunk_size must be positive")
+        resident = isinstance(initial_state, QuantizedSSMState)
         x = np.asarray(x, dtype=np.float64)
         B = np.asarray(B, dtype=np.float64)
         C = np.asarray(C, dtype=np.float64)
@@ -256,7 +422,10 @@ class QuantizedChunkedScan(QuantizedSSMStep):
         if initial_state is None:
             state = np.zeros(state_shape, dtype=np.float64)
         else:
-            state = np.array(initial_state, dtype=np.float64, copy=True)
+            if resident:
+                state = initial_state.dequantize()
+            else:
+                state = np.array(initial_state, dtype=np.float64, copy=True)
             if state.shape != state_shape:
                 raise ValueError(
                     f"initial_state must have shape {state_shape}, got {state.shape}"
@@ -268,29 +437,53 @@ class QuantizedChunkedScan(QuantizedSSMStep):
             # The per-token loop: ssm_scan driving this object's own step, so
             # the chunk_size=1 reduction to the sequential quantized oracle
             # is bit-identical by construction (shared step code, shared
-            # token loop and seq_lens snapshot bookkeeping).
-            return ssm_scan(
+            # token loop and seq_lens snapshot bookkeeping).  The token loop
+            # runs on the float view; a resident caller gets the final state
+            # re-quantized back into codes (exact -- the state is on-grid).
+            y, final = ssm_scan(
                 params, x, B, C, dt, initial_state=state, seq_lens=seq_lens, step_fn=self
             )
+            if resident:
+                final = self.quantize_state_codes(final)
+            return y, final
 
         A, d_col = params.A, self._d_col(params)
         quantize_state = self.config.quantize_state
+        integer_body = self.config.integer_chunk_body
 
         # Operand quantization at the SSMU interfaces.  Per-group grids are
         # computed along the trailing axis only, so quantizing the whole
-        # sequence at once is bit-identical to the step's per-token _q.
+        # sequence at once is bit-identical to the step's per-token _q.  The
+        # integer chunk body keeps the raw codes of C and of the re-quantized
+        # Delta (.) B product next to their float views.
         qx = self._q(x)
         qB = self._q(B)
-        qC = self._q(C)
+        c_qt = quantize(C, self._qcfg)
+        qC = dequantize(c_qt)
         delta = softplus(dt + params.dt_bias)               # (..., T, h)
         log_decay = delta * A                               # (..., T, h), negative
         # Delta (.) B, re-quantized exactly as the step's delta_mul_b.
-        qdB = self._qp(delta[..., None] * qB[..., None, :])  # (..., T, h, n)
+        if integer_body:
+            db_qt = quantize(delta[..., None] * qB[..., None, :], self._qcfg)
+            qdB = dequantize(db_qt)                          # (..., T, h, n)
+        else:
+            db_qt = None
+            qdB = self._qp(delta[..., None] * qB[..., None, :])  # (..., T, h, n)
         # D (.) x skip path, re-quantized exactly as the step's x_mul_d.
         y = self._qp(d_col * qx)
 
-        if quantize_state:
-            state = self._q(state)                          # chunk-entry quantization
+        state_qt: Optional[QuantizedTensor] = None
+        if resident:
+            # The incoming codes are the chunk-entry quantization.
+            state_qt = QuantizedTensor(
+                codes=initial_state.codes,
+                scales=initial_state.scales,
+                config=self._qcfg,
+                shape=initial_state.shape,
+            )
+        elif quantize_state:
+            state_qt = quantize(state, self._qcfg)           # chunk-entry quantization
+            state = dequantize(state_qt)
         if seq_lens is not None:
             snapshot = np.zeros_like(state)
 
@@ -300,6 +493,8 @@ class QuantizedChunkedScan(QuantizedSSMStep):
         # folding Delta and the requant into qdB gives B a head axis, so every
         # contraction here is per-head.  Keep the two bodies in sync when
         # touching either.
+        qmax = self._qcfg.spec.qmax
+        group = self._qcfg.group_size
         chunk = min(chunk_size, seq_len)
         causal_full = np.tril(np.ones((chunk, chunk), dtype=np.float64))
         for start in range(0, seq_len, chunk):
@@ -312,13 +507,35 @@ class QuantizedChunkedScan(QuantizedSSMStep):
 
             # Dense decay-weighted interaction on the quantized operands:
             #   G[t, s, head] = exp(L_t - L_s) * (qC_t . qdB_s[head]), s <= t.
-            # The d_state contraction runs at high precision (the MMU-style
-            # wide accumulator); L is decreasing so causal entries have
-            # diff <= 0, and clamping keeps the masked upper triangle finite.
+            # The d_state contraction runs on the MMU-style wide accumulator:
+            # in float mode that is the float64 matmul below; in integer mode
+            # the raw codes accumulate in a true INT32 per quantization group
+            # (grouped_integer_matmul, with the static overflow guard).  L is
+            # decreasing so causal entries have diff <= 0, and clamping keeps
+            # the masked upper triangle finite.
             bh = np.moveaxis(bc, -2, -3)                    # (..., h, Q, n)
-            cb = np.moveaxis(
-                cc[..., None, :, :] @ np.swapaxes(bh, -1, -2), -3, -1
-            )                                               # (..., Q, Q, h)
+            if integer_body:
+                cc_codes = c_qt.codes[..., start:stop, :]                # (..., Q, n)
+                cc_scales = c_qt.scales[..., start:stop, :, 0]           # (..., Q, G)
+                bh_codes = np.moveaxis(db_qt.codes[..., start:stop, :, :], -2, -3)
+                bh_scales = np.moveaxis(db_qt.scales[..., start:stop, :, :, 0], -2, -3)
+                cb = np.moveaxis(
+                    grouped_integer_matmul(
+                        cc_codes[..., None, :, :],
+                        cc_scales[..., None, :, :],
+                        bh_codes,
+                        bh_scales,
+                        group_size=group,
+                        x_qmax=qmax,
+                        w_qmax=qmax,
+                    ),
+                    -3,
+                    -1,
+                )                                           # (..., Q, Q, h)
+            else:
+                cb = np.moveaxis(
+                    cc[..., None, :, :] @ np.swapaxes(bh, -1, -2), -3, -1
+                )                                           # (..., Q, Q, h)
             causal = causal_full if q_len == chunk else causal_full[:q_len, :q_len]
             diff = lc[..., :, None, :] - lc[..., None, :, :]
             gate = cb * np.exp(np.minimum(diff, 0.0)) * causal[..., :, :, None]
@@ -326,7 +543,18 @@ class QuantizedChunkedScan(QuantizedSSMStep):
                 np.moveaxis(gate, -1, -3) @ np.moveaxis(xc, -2, -3), -3, -2
             )                                               # (..., Q, h, p)
             # Carried-in state readout (h_in . C per head, decayed to t).
-            readout = state @ np.swapaxes(cc, -1, -2)[..., None, :, :]  # (..., h, p, Q)
+            if integer_body:
+                readout = grouped_integer_matmul(
+                    state_qt.codes,
+                    state_qt.scales[..., 0],
+                    cc_codes[..., None, :, :],
+                    cc_scales[..., None, :, :],
+                    group_size=group,
+                    x_qmax=qmax,
+                    w_qmax=qmax,
+                )                                           # (..., h, p, Q)
+            else:
+                readout = state @ np.swapaxes(cc, -1, -2)[..., None, :, :]  # (..., h, p, Q)
             yc += np.exp(lc)[..., None] * np.moveaxis(readout, -1, -3)
             y[..., start:stop, :, :] += yc
 
@@ -343,14 +571,32 @@ class QuantizedChunkedScan(QuantizedSSMStep):
                     )
                     snapshot[row] = self._q(row_state) if quantize_state else row_state
 
-            # Chunk hand-off, then the chunk-boundary state quantization.
+            # Chunk hand-off, then the chunk-boundary state quantization (kept
+            # as codes when the next chunk's readout or the caller needs them).
             last = lc[..., -1, :]                           # (..., h)
             carry = np.exp(last[..., None, :] - lc)         # (..., Q, h)
             wx = np.moveaxis(carry[..., None] * xc, -3, -1)  # (..., h, p, Q)
             state = np.exp(last)[..., :, None, None] * state + wx @ bh
             if quantize_state:
-                state = self._q(state)
+                state_qt = quantize(state, self._qcfg)
+                state = dequantize(state_qt)
 
         if seq_lens is not None:
+            if resident:
+                # Rows were quantized one by one above; per-group grids live
+                # on the trailing axis, so re-quantizing the stacked snapshot
+                # into codes is exact (idempotent on-grid requantization).
+                return y, self.quantize_state_codes(snapshot)
             return y, snapshot
+        if resident:
+            if not quantize_state:
+                # Degenerate configuration (resident container handed to a
+                # scan that does not quantize hand-offs): quantize once here.
+                return y, self.quantize_state_codes(state)
+            return y, QuantizedSSMState(
+                codes=state_qt.codes,
+                scales=state_qt.scales,
+                group_size=self.config.group_size,
+                bits=self.config.bits,
+            )
         return y, state

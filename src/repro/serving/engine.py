@@ -86,7 +86,10 @@ class Request:
     def __post_init__(self) -> None:
         object.__setattr__(self, "prompt", tuple(int(t) for t in self.prompt))
         if not self.prompt:
-            raise ValueError("prompt must be non-empty")
+            raise ValueError(
+                "prompt must be non-empty; encode an empty or whitespace-only "
+                "input as a single BOS token"
+            )
         if self.max_new_tokens < 0:
             raise ValueError("max_new_tokens must be non-negative")
         if self.temperature is None:
@@ -288,7 +291,10 @@ class InferenceEngine:
         self._parked: Dict[int, _PrefillProgress] = {}
         self._latency: Dict[int, RequestLatency] = {}
         self._pending_completions: List[Completion] = []
-        self._cache = InferenceCache.zeros(model.config, batch_size=max_batch_size)
+        # The model's own cache factory: quantized models with a persistent
+        # integer state get a codes-resident slot pool, so admission and
+        # eviction move integer codes rather than floats.
+        self._cache = model.new_cache(batch_size=max_batch_size)
         self._pending_logits = np.zeros(
             (max_batch_size, model.config.vocab_size), dtype=np.float64
         )
@@ -352,6 +358,12 @@ class InferenceEngine:
         completion -- with any tokens generated so far -- is delivered by the
         next :meth:`step`), ``False`` if it is unknown or already finished.
         Cancelling an in-flight request frees its slot immediately.
+
+        A cancel that races the request's *final* decode iteration (e.g. an
+        ``on_token`` callback cancelling a request whose just-streamed token
+        is its stop token or exhausts its budget) loses the race: the request
+        has already finished, so it keeps its true ``"stop"`` / ``"length"``
+        completion, is not retired twice, and ``cancel`` returns ``False``.
         """
         entry = self.queue.cancel(request_id)
         if entry is not None:
@@ -374,6 +386,12 @@ class InferenceEngine:
                 return True
         for slot_idx, slot in enumerate(self._slots):
             if slot is not None and slot.request_id == request_id:
+                if self._slot_finished(slot):
+                    # The request reached its stop token / length budget in
+                    # this very iteration and is about to retire with its
+                    # true finish reason -- cancelling now would double-retire
+                    # the slot and overwrite "stop" with "cancelled".
+                    return False
                 self._slots[slot_idx] = None
                 self._finish(request_id, "cancelled")
                 self.stats.cancelled += 1
@@ -384,6 +402,22 @@ class InferenceEngine:
                 )
                 return True
         return False
+
+    @staticmethod
+    def _slot_finished(slot: _Slot) -> bool:
+        """Whether a decoding slot's request already hit its terminal token.
+
+        True only inside the window between token selection and retirement
+        within one :meth:`step` (a finished slot is freed before the step
+        returns); :meth:`cancel` uses it so the final decode iteration wins
+        the race against a concurrent cancellation.
+        """
+        if not slot.tokens:
+            return False
+        request = slot.request
+        if request.stop_token is not None and slot.tokens[-1] == request.stop_token:
+            return True
+        return len(slot.tokens) >= request.max_new_tokens
 
     def latency(self, request_id: int) -> RequestLatency:
         """The latency record of a submitted request (any lifecycle stage)."""
@@ -614,9 +648,7 @@ class InferenceEngine:
                 raise ValueError("plan admits more requests than free slots") from None
             progress = self._parked.pop(request_id, None)
             if progress is None:
-                progress = _PrefillProgress(
-                    entry=entry, cache=InferenceCache.zeros(self.model.config)
-                )
+                progress = _PrefillProgress(entry=entry, cache=self.model.new_cache())
             self._prefilling[slot_idx] = progress
             self._advance_prefill(slot_idx, tokens)
         return completions

@@ -99,7 +99,15 @@ class BatchedGenerator:
         if n == 0:
             return []
         vocab = self.model.config.vocab_size
-        prompt_arrays = [_check_prompt(prompt, vocab) for prompt in prompts]
+        prompt_arrays = []
+        for i, prompt in enumerate(prompts):
+            try:
+                prompt_arrays.append(_check_prompt(prompt, vocab))
+            except ValueError as exc:
+                # Name the offending request so a ragged batch with one bad
+                # (e.g. zero-length) prompt is easy to debug; an empty text
+                # should be encoded as a single BOS token upstream.
+                raise ValueError(f"prompts[{i}]: {exc}") from None
 
         budgets = _per_request(max_new_tokens, n, "max_new_tokens")
         if any(b is None or b < 0 for b in budgets):

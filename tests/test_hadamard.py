@@ -150,9 +150,21 @@ class TestPoT:
         snapped = pot_quantize_scale(np.array([0.3, 5.0]), rounding="nearest")
         np.testing.assert_allclose(snapped, [0.25, 4.0])
 
+    def test_zero_scale_is_well_defined(self):
+        """An all-zero group's absmax (0) snaps to the tiny floor PoT scale.
+
+        Regression: this used to raise, which made all-zero quantization
+        groups an error path instead of the benign zero-codes case.
+        """
+        snapped = pot_quantize_scale(np.array([0.0, 1.0]))
+        assert snapped[0] == 2.0**-39
+        assert snapped[1] == 1.0
+        # The floor scale still decodes zero codes to exact zeros.
+        assert 0.0 * snapped[0] == 0.0
+
     def test_invalid_inputs(self):
         with pytest.raises(ValueError):
-            pot_quantize_scale(np.array([0.0]))
+            pot_quantize_scale(np.array([-1.0]))
         with pytest.raises(ValueError):
             pot_quantize_scale(np.array([1.0]), rounding="floor")
 
