@@ -5,7 +5,9 @@ from repro.bench import fig7_tiling_uram, format_rows
 
 def test_fig7_tiling_uram(benchmark, save_output):
     result = benchmark.pedantic(fig7_tiling_uram, rounds=1, iterations=1)
-    text = format_rows([result], title="Fig. 7: on-chip buffer usage, tensor-by-tensor vs tile-by-tile")
+    text = format_rows(
+        [result], title="Fig. 7: on-chip buffer usage, tensor-by-tensor vs tile-by-tile"
+    )
     save_output("fig7_tiling_uram", text)
 
     # The paper reports a ~4x URAM reduction (246 -> 61).

@@ -1,0 +1,51 @@
+"""Repo-specific static verification.
+
+Three rule families turn the repository's load-bearing invariants into
+machine-checked properties of the source, gated in CI by
+``python -m repro.analysis`` (see the package README for the annotation and
+baseline workflow):
+
+- **Guarded-by lock discipline** (:mod:`repro.analysis.locks`, ``GB1xx``):
+  attributes annotated ``# guarded-by: <lock>`` must only be touched inside
+  ``with self.<lock>:`` or in methods annotated ``# lock-held:`` /
+  ``# loop-thread-only``; ``Condition.wait``/``notify`` usage is checked too.
+- **Integer-path dtype flow** (:mod:`repro.analysis.dtypeflow`, ``DT2xx``):
+  functions annotated ``# integer-resident`` may not materialize float
+  tensors except at ``# quant-point:``-sanctioned sites.
+- **Static overflow prover** (:mod:`repro.analysis.overflow`, ``OV3xx``):
+  every registered integer contraction is proven safe for its accumulator
+  width symbolically, with a reported margin -- the offline generalization
+  of ``grouped_integer_matmul``'s runtime guard.
+"""
+
+from repro.analysis.core import (
+    CODES,
+    AnalysisReport,
+    Baseline,
+    Finding,
+    SourceModule,
+    analyze_paths,
+    analyze_repo,
+    repo_root,
+)
+from repro.analysis.overflow import (
+    ContractionSpec,
+    default_registry,
+    prove,
+    prove_default_registry,
+)
+
+__all__ = [
+    "CODES",
+    "AnalysisReport",
+    "Baseline",
+    "ContractionSpec",
+    "Finding",
+    "SourceModule",
+    "analyze_paths",
+    "analyze_repo",
+    "default_registry",
+    "prove",
+    "prove_default_registry",
+    "repo_root",
+]

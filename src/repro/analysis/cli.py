@@ -1,0 +1,171 @@
+"""Command-line entry point: ``python -m repro.analysis``.
+
+Runs every rule family (the GB1xx guarded-by checker and DT2xx dtype-flow
+lint over the source tree, plus the OV3xx static overflow prover over the
+registered configurations) and reports findings in text or JSON.  The exit
+code is the CI gate: non-zero iff any finding is neither inline-suppressed
+(``# repro-analysis: ignore[CODE]``) nor covered by the committed baseline
+(``analysis-baseline.json`` at the repository root).
+
+``--write-baseline`` rewrites the baseline to accept the current active
+findings (the escape hatch for landing the analyzer before a fix);
+``--output`` duplicates the report into a file so CI can upload it as an
+artifact even though the findings also gate the job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.core import (
+    CODES,
+    AnalysisReport,
+    Baseline,
+    Finding,
+    analyze_repo,
+    repo_root,
+)
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Repo-specific static verification (locks, dtype flow, overflow).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="baseline file (default: analysis-baseline.json at the repo root)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept the current active findings into the baseline and exit 0",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="also write the report to this file",
+    )
+    parser.add_argument(
+        "--no-overflow",
+        action="store_true",
+        help="skip the static overflow prover (AST rules only)",
+    )
+    parser.add_argument(
+        "--list-codes",
+        action="store_true",
+        help="print every finding code with its summary and exit",
+    )
+    return parser
+
+
+def _render_text(
+    report: AnalysisReport,
+    active: List[Finding],
+    suppressed: List[Finding],
+    baselined: List[Finding],
+) -> str:
+    lines: List[str] = []
+    for finding in active:
+        lines.append(finding.format())
+    if report.margins:
+        lines.append("")
+        lines.append("overflow prover margins (worst-case partial sum vs accumulator):")
+        for margin in report.margins:
+            verdict = "OVERFLOW" if margin["overflows"] else "ok"
+            lines.append(
+                f"  {margin['name']}: worst={margin['worst_case']} "
+                f"acc=INT{margin['acc_bits']} margin={margin['margin']:.1f}x "
+                f"({margin['headroom_bits']:+.2f} bits) [{verdict}]"
+            )
+    lines.append("")
+    lines.append(
+        f"{len(active)} finding(s), {len(suppressed)} inline-suppressed, "
+        f"{len(baselined)} baselined"
+    )
+    return "\n".join(lines) + "\n"
+
+
+def _render_json(
+    report: AnalysisReport,
+    active: List[Finding],
+    suppressed: List[Finding],
+    baselined: List[Finding],
+) -> str:
+    payload = {
+        "findings": [f.to_json() for f in active],
+        "suppressed": [f.to_json() for f in suppressed],
+        "baselined": [f.to_json() for f in baselined],
+        "overflow_margins": report.margins,
+        "summary": {
+            "active": len(active),
+            "suppressed": len(suppressed),
+            "baselined": len(baselined),
+        },
+    }
+    return json.dumps(payload, indent=2) + "\n"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.list_codes:
+        for code, summary in sorted(CODES.items()):
+            print(f"{code}: {summary}")
+        return 0
+
+    root = repo_root()
+    paths = args.paths or None
+    report = analyze_repo(
+        paths=paths, root=root, include_overflow=not args.no_overflow
+    )
+
+    baseline_path = args.baseline
+    if baseline_path is None:
+        candidate = root / "analysis-baseline.json"
+        baseline_path = candidate if candidate.exists() else None
+    elif not baseline_path.exists():
+        # A --baseline target that does not exist yet (it is about to be
+        # created by --write-baseline) simply contributes nothing.
+        baseline_path = None
+    baseline = Baseline.load(baseline_path) if baseline_path else None
+
+    active, suppressed, baselined = report.partition(baseline)
+
+    if args.write_baseline:
+        target = args.baseline or (root / "analysis-baseline.json")
+        Baseline.write(target, active)
+        print(f"wrote {len(active)} finding(s) to {target}")
+        return 0
+
+    render = _render_json if args.format == "json" else _render_text
+    output = render(report, active, suppressed, baselined)
+    sys.stdout.write(output)
+    if args.output is not None:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(output, encoding="utf-8")
+    return 1 if active else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

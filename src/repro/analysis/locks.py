@@ -1,0 +1,337 @@
+"""Guarded-by lock-discipline checker (the race-detector rule family, GB1xx).
+
+The serving layer's thread-safety contract is structural: a handful of
+attributes are shared between producer threads (``InferenceEngine.submit``)
+and the consumer thread driving the engine, and every one of them is supposed
+to be touched only under a specific lock.  This checker turns that contract
+into machine-checked annotations:
+
+- ``# guarded-by: <lock>`` -- trailing comment on the statement that
+  introduces an attribute (a ``self.attr = ...`` assignment, a dataclass
+  field line, or a class-level assignment) declares that every read or write
+  of ``self.attr`` must happen while ``self.<lock>`` is held.  A class-body
+  ``GUARDED_BY = {"attr": "lock"}`` dict literal declares the same thing.
+- ``# lock-held: <lock>[, <lock>...]`` -- trailing comment on a ``def`` line
+  documents that the method is only called with those locks already held
+  (the caller's responsibility); accesses inside it are treated as guarded.
+- ``# loop-thread-only`` -- trailing comment on a ``def`` line documents
+  that the method runs exclusively on the single consumer/engine thread as
+  part of an explicit threading contract; GB101 is not applied inside it.
+
+Checks performed on every class that declares at least one guard:
+
+``GB101``
+    A read or write of a guarded ``self.<attr>`` that is not lexically inside
+    ``with self.<lock>:`` (multi-item ``with`` statements count) and not in a
+    ``lock-held`` / ``loop-thread-only`` method.  ``__init__`` is exempt:
+    construction happens before the object is published to other threads.
+``GB102``
+    ``self.<cond>.wait(...)`` outside a predicate ``while`` loop -- a bare
+    ``wait`` misses both spurious wakeups and a sibling consumer draining the
+    queue first.  (``wait_for`` loops internally and is exempt.)
+``GB103``
+    ``wait`` / ``wait_for`` / ``notify`` / ``notify_all`` on a known lock
+    attribute without lexically holding that lock -- all four require the
+    owning lock under ``threading.Condition`` semantics.
+``GB104``
+    A ``guarded-by`` annotation whose lock is never discovered as a
+    ``threading.Lock`` / ``RLock`` / ``Condition`` attribute of the class
+    (catches typos in the annotations themselves).
+
+The analysis is lexical (it proves containment in a ``with`` block, not a
+whole-program happens-before relation), which is exactly the discipline the
+serving layer promises: every access site names its lock in the enclosing
+source.  Nested functions are conservatively treated as running without the
+enclosing locks, since they may escape and run later.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.analysis.core import Finding, SourceModule
+
+__all__ = ["check_lock_discipline"]
+
+_GUARDED_BY_RE = re.compile(r"guarded-by:\s*([A-Za-z_][A-Za-z0-9_]*)")
+_LOCK_HELD_RE = re.compile(r"lock-held:\s*([A-Za-z0-9_,\s]+)")
+_LOOP_THREAD_RE = re.compile(r"loop-thread-only")
+
+#: ``threading`` factories whose result makes an attribute a known lock.
+_LOCK_FACTORIES = {"Lock", "RLock", "Condition"}
+#: The subset that carries Condition wait/notify semantics.
+_CONDITION_FACTORIES = {"Condition"}
+
+
+def _threading_factory(node: ast.AST) -> Optional[str]:
+    """The ``threading.<Factory>`` name an expression resolves to, if any.
+
+    Recognises direct constructor calls (``threading.Condition()``), bare
+    references in annotations (``threading.Condition``), and dataclass
+    defaults (``field(default_factory=threading.Condition)``).
+    """
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "field":
+            for keyword in node.keywords:
+                if keyword.arg == "default_factory":
+                    return _threading_factory(keyword.value)
+            return None
+        return _threading_factory(func)
+    if isinstance(node, ast.Attribute) and node.attr in _LOCK_FACTORIES:
+        value = node.value
+        if isinstance(value, ast.Name) and value.id == "threading":
+            return node.attr
+    if isinstance(node, ast.Name) and node.id in _LOCK_FACTORIES:
+        return node.id
+    if isinstance(node, ast.Subscript):
+        return _threading_factory(node.value)
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        # String annotations ("threading.Condition") in `from __future__`
+        # modules.
+        for factory in _LOCK_FACTORIES:
+            if node.value.endswith(factory):
+                return factory
+    return None
+
+
+def _assigned_attr(node: ast.AST) -> Optional[str]:
+    """The ``X`` of a ``self.X = ...`` / ``self.X: T = ...`` target."""
+    if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+        if node.value.id == "self":
+            return node.attr
+    return None
+
+
+@dataclass
+class _ClassContract:
+    """The declared locking contract of one class."""
+
+    name: str
+    node: ast.ClassDef
+    guards: Dict[str, str] = field(default_factory=dict)
+    guard_lines: Dict[str, int] = field(default_factory=dict)
+    locks: Set[str] = field(default_factory=set)
+    conditions: Set[str] = field(default_factory=set)
+
+
+def _collect_contract(module: SourceModule, cls: ast.ClassDef) -> _ClassContract:
+    contract = _ClassContract(name=cls.name, node=cls)
+
+    def note_lock(attr: str, value: ast.AST) -> None:
+        factory = _threading_factory(value)
+        if factory is not None:
+            contract.locks.add(attr)
+            if factory in _CONDITION_FACTORIES:
+                contract.conditions.add(attr)
+
+    def note_guard(attr: str, line: int) -> None:
+        match = module.marker(_GUARDED_BY_RE, line)
+        if match is not None:
+            contract.guards[attr] = match.group(1)
+            contract.guard_lines[attr] = line
+
+    # Class body: dataclass fields, class-level assignments, GUARDED_BY map.
+    for stmt in cls.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            attr = stmt.target.id
+            note_lock(attr, stmt.annotation)
+            if stmt.value is not None:
+                note_lock(attr, stmt.value)
+            note_guard(attr, stmt.lineno)
+        elif isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+            if isinstance(target, ast.Name):
+                if target.id == "GUARDED_BY" and isinstance(stmt.value, ast.Dict):
+                    for key, value in zip(stmt.value.keys, stmt.value.values):
+                        if (
+                            isinstance(key, ast.Constant)
+                            and isinstance(value, ast.Constant)
+                            and isinstance(key.value, str)
+                            and isinstance(value.value, str)
+                        ):
+                            contract.guards[key.value] = value.value
+                            contract.guard_lines[key.value] = stmt.lineno
+                else:
+                    note_lock(target.id, stmt.value)
+                    note_guard(target.id, stmt.lineno)
+
+    # Method bodies: `self.X = threading.Lock()` and annotated assignments.
+    for method in cls.body:
+        if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for node in ast.walk(method):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                attr = _assigned_attr(node.targets[0])
+                if attr is not None:
+                    note_lock(attr, node.value)
+                    note_guard(attr, node.lineno)
+            elif isinstance(node, ast.AnnAssign):
+                attr = _assigned_attr(node.target)
+                if attr is not None:
+                    if node.value is not None:
+                        note_lock(attr, node.value)
+                    note_guard(attr, node.lineno)
+    return contract
+
+
+def _method_markers(module: SourceModule, method: ast.AST) -> tuple:
+    """(held_locks, loop_thread_only) declared on a ``def`` line."""
+    held: Set[str] = set()
+    match = module.marker(_LOCK_HELD_RE, method.lineno)
+    if match is not None:
+        held.update(name.strip() for name in match.group(1).split(",") if name.strip())
+    loop_only = module.marker(_LOOP_THREAD_RE, method.lineno) is not None
+    return frozenset(held), loop_only
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+        if node.value.id == "self":
+            return node.attr
+    return None
+
+
+class _MethodChecker:
+    """Walk one method body tracking lexically held locks."""
+
+    def __init__(
+        self,
+        module: SourceModule,
+        contract: _ClassContract,
+        method: ast.AST,
+        held: frozenset,
+        loop_thread_only: bool,
+    ):
+        self.module = module
+        self.contract = contract
+        self.method = method
+        self.loop_thread_only = loop_thread_only
+        self.findings: List[Finding] = []
+        self.qualname = f"{contract.name}.{method.name}"
+        self._initial_held = held
+
+    def run(self) -> List[Finding]:
+        for stmt in self.method.body:
+            self._visit(stmt, self._initial_held, in_predicate_while=False)
+        return self.findings
+
+    # ------------------------------------------------------------------
+    def _report(self, code: str, message: str, node: ast.AST) -> None:
+        self.findings.append(
+            self.module.finding(code, message, node, symbol=self.qualname)
+        )
+
+    def _visit(self, node: ast.AST, held: frozenset, in_predicate_while: bool) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            # A nested function may escape the lock scope; treat its body as
+            # running with no locks held (its own `with` blocks still count).
+            body = node.body if isinstance(node.body, list) else [node.body]
+            for child in body:
+                self._visit(child, frozenset(), in_predicate_while=False)
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            acquired = set()
+            for item in node.items:
+                attr = _self_attr(item.context_expr)
+                if attr is not None and attr in self.contract.locks:
+                    acquired.add(attr)
+                self._visit(item.context_expr, held, in_predicate_while)
+            inner = held | frozenset(acquired)
+            for child in node.body:
+                self._visit(child, inner, in_predicate_while)
+            return
+        if isinstance(node, (ast.While,)):
+            predicate = not (
+                isinstance(node.test, ast.Constant) and bool(node.test.value)
+            )
+            self._visit(node.test, held, in_predicate_while)
+            for child in node.body:
+                self._visit(child, held, in_predicate_while or predicate)
+            for child in node.orelse:
+                self._visit(child, held, in_predicate_while)
+            return
+        if isinstance(node, ast.Call):
+            self._check_call(node, held, in_predicate_while)
+            # Fall through to generic traversal for arguments and receiver.
+        attr = _self_attr(node)
+        if attr is not None and not self.loop_thread_only:
+            lock = self.contract.guards.get(attr)
+            if lock is not None and lock not in held:
+                self._report(
+                    "GB101",
+                    f"'self.{attr}' is guarded by 'self.{lock}' but accessed "
+                    f"without it in {self.qualname}",
+                    node,
+                )
+        for child in ast.iter_child_nodes(node):
+            self._visit(child, held, in_predicate_while)
+
+    def _check_call(
+        self, node: ast.Call, held: frozenset, in_predicate_while: bool
+    ) -> None:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        receiver = _self_attr(func.value)
+        if receiver is None or receiver not in self.contract.locks:
+            return
+        op = func.attr
+        if op == "wait" and receiver in self.contract.conditions:
+            if not in_predicate_while:
+                self._report(
+                    "GB102",
+                    f"'self.{receiver}.wait()' outside a predicate while-loop "
+                    f"in {self.qualname} (spurious wakeups / stolen work "
+                    "return an unchecked condition)",
+                    node,
+                )
+        if op in ("wait", "wait_for", "notify", "notify_all"):
+            if receiver not in held:
+                self._report(
+                    "GB103",
+                    f"'self.{receiver}.{op}()' without holding "
+                    f"'self.{receiver}' in {self.qualname}",
+                    node,
+                )
+
+
+def check_lock_discipline(module: SourceModule) -> List[Finding]:
+    """Run the GB1xx rule family over one module."""
+    findings: List[Finding] = []
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        contract = _collect_contract(module, node)
+        if not contract.guards:
+            continue
+        for attr, lock in sorted(contract.guards.items()):
+            if lock not in contract.locks:
+                line = contract.guard_lines.get(attr, node.lineno)
+                findings.append(
+                    Finding(
+                        code="GB104",
+                        message=(
+                            f"'{attr}' is declared guarded by '{lock}', which is "
+                            f"not a known lock attribute of {contract.name}"
+                        ),
+                        path=module.display_path,
+                        line=line,
+                        symbol=f"{contract.name}.{attr}",
+                        line_text=module.line_text(line),
+                        suppressed="GB104" in module.suppressed_codes(line),
+                    )
+                )
+        for method in node.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if method.name in ("__init__", "__post_init__"):
+                # Construction happens-before publication to other threads.
+                continue
+            held, loop_only = _method_markers(module, method)
+            checker = _MethodChecker(module, contract, method, held, loop_only)
+            findings.extend(checker.run())
+    return findings

@@ -1,0 +1,278 @@
+"""Static accumulator-overflow prover (the OV3xx rule family).
+
+:func:`repro.quant.qlinear.grouped_integer_matmul` carries a *runtime* guard:
+the worst-case per-group partial sum ``group_len * x_qmax * w_qmax`` is
+checked against the INT32 accumulator range on every call, so an unsafe
+configuration fails deterministically on first use.  This module generalizes
+that guard into an *offline* prover: it enumerates every integer contraction
+the repository's registered configurations can execute -- the lightmamba*
+:class:`~repro.quant.ssm_quant.SSMQuantConfig` family across its committed
+group sizes, the :class:`~repro.quant.qlinear.QuantizedLinear` W4A4/W8A8
+paths over the model presets, and the per-platform MMU shapes from
+:mod:`repro.hardware` -- and proves INT32/INT16 accumulator safety
+symbolically from bit widths and group lengths alone.  No kernel is
+executed; the bound arithmetic is exactly the runtime guard's, so the two
+agree by construction: :attr:`ContractionSpec.overflows` is true precisely
+for the configurations on which ``grouped_integer_matmul`` raises
+:class:`OverflowError` (the acceptance contract, pinned by tests).
+
+The prover reports a margin for every contraction (headroom between the
+worst-case partial sum and the accumulator capacity, also expressed in
+bits), and emits an ``OV301`` finding for any contraction that can provably
+overflow -- which fails CI like any other unsuppressed finding.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.analysis.core import Finding
+
+__all__ = [
+    "ContractionSpec",
+    "default_registry",
+    "prove",
+    "prove_default_registry",
+]
+
+
+@dataclass(frozen=True)
+class ContractionSpec:
+    """One integer contraction, described symbolically.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier (also the baseline fingerprint anchor).
+    origin:
+        Which subsystem the contraction belongs to (``ssm-chunk-body``,
+        ``qlinear``, ``mmu``).
+    x_bits / w_bits:
+        Signed symmetric code widths of the two operands
+        (``qmax = 2**(bits-1) - 1``).
+    group_len:
+        Elements accumulated into one partial sum before the scale is
+        applied -- the quantization group length, which is also the longest
+        run the MMU accumulates between requantization points.
+    acc_bits:
+        Accumulator width (32 for the per-group MMU/SSMU paths, 64 for the
+        per-channel row-accumulate fallback).
+    """
+
+    name: str
+    origin: str
+    x_bits: int
+    w_bits: int
+    group_len: int
+    acc_bits: int = 32
+
+    @property
+    def x_qmax(self) -> int:
+        return 2 ** (self.x_bits - 1) - 1
+
+    @property
+    def w_qmax(self) -> int:
+        return 2 ** (self.w_bits - 1) - 1
+
+    @property
+    def worst_case(self) -> int:
+        """Largest partial-sum magnitude any data can produce."""
+        return self.group_len * self.x_qmax * self.w_qmax
+
+    @property
+    def acc_max(self) -> int:
+        """Largest magnitude the accumulator holds without wrapping."""
+        return 2 ** (self.acc_bits - 1) - 1
+
+    @property
+    def overflows(self) -> bool:
+        """Provable overflow -- the exact predicate of the runtime guard.
+
+        ``grouped_integer_matmul`` raises when ``worst_case >= 2**31``; for a
+        symbolic accumulator width that is ``worst_case > acc_max``.
+        """
+        return self.worst_case > self.acc_max
+
+    @property
+    def margin(self) -> float:
+        """How many times the worst case fits the accumulator (> 1 is safe)."""
+        return self.acc_max / self.worst_case
+
+    @property
+    def headroom_bits(self) -> float:
+        """Margin expressed in bits (negative means provable overflow)."""
+        return math.log2(self.margin)
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "origin": self.origin,
+            "x_bits": self.x_bits,
+            "w_bits": self.w_bits,
+            "group_len": self.group_len,
+            "acc_bits": self.acc_bits,
+            "worst_case": self.worst_case,
+            "acc_max": self.acc_max,
+            "overflows": self.overflows,
+            "margin": self.margin,
+            "headroom_bits": round(self.headroom_bits, 3),
+        }
+
+
+# ----------------------------------------------------------------------
+# Registry enumeration
+# ----------------------------------------------------------------------
+def _ssm_specs() -> List[ContractionSpec]:
+    """The lightmamba* SSM chunk-body contractions.
+
+    Both ``d_state`` contractions of the integer chunk body (the ``C B^T``
+    interaction matrix and the carried-state ``h . C`` readout) accumulate at
+    most one quantization group per partial sum; ``group_len = group_size``
+    is the conservative bound (the runtime clamps to ``min(group, d_state)``,
+    which is never larger).  The group sizes are the committed ones: the
+    :class:`SSMQuantConfig` default (32) and the variants the tests and
+    benchmarks pin (8, 128).
+    """
+    from repro.quant.ssm_quant import SSMQuantConfig
+
+    specs: List[ContractionSpec] = []
+    group_sizes = sorted({8, SSMQuantConfig().group_size, 128})
+    for group in group_sizes:
+        config = SSMQuantConfig(
+            group_size=group, integer_chunk_body=True, persistent_state=True
+        )
+        for contraction in ("CB^T interaction", "h.C readout"):
+            specs.append(
+                ContractionSpec(
+                    name=(
+                        f"ssm-chunk-body/{contraction} lightmamba* "
+                        f"INT{config.bits} g{group}"
+                    ),
+                    origin="ssm-chunk-body",
+                    x_bits=config.bits,
+                    w_bits=config.bits,
+                    group_len=min(group, _max_d_state()),
+                    acc_bits=32,
+                )
+            )
+    return specs
+
+
+def _max_d_state() -> int:
+    from repro.mamba.config import MODEL_PRESETS
+
+    return max(preset.d_state for preset in MODEL_PRESETS.values())
+
+
+def _qlinear_specs() -> List[ContractionSpec]:
+    """The quantized linear-layer contractions over the model presets.
+
+    W4A4 runs the per-group INT32 path with the paper's group size (128);
+    W8A8 uses per-channel / per-token scales, which the software kernel
+    accumulates over the full contraction axis in INT64 (the hardware
+    accumulates per tile, which is strictly shorter).
+    """
+    from repro.mamba.config import MODEL_PRESETS
+    from repro.quant.qmodel import QuantConfig, QuantMethod
+
+    w4a4 = QuantConfig.w4a4(QuantMethod.LIGHTMAMBA_STAR)
+    specs = [
+        ContractionSpec(
+            name=f"qlinear W{w4a4.w_bits}A{w4a4.a_bits} per-group g{w4a4.group_size}",
+            origin="qlinear",
+            x_bits=w4a4.a_bits,
+            w_bits=w4a4.w_bits,
+            group_len=w4a4.group_size,
+            acc_bits=32,
+        )
+    ]
+    max_in_features = max(
+        max(preset.d_model, preset.d_inner) for preset in MODEL_PRESETS.values()
+    )
+    w8a8 = QuantConfig.w8a8(QuantMethod.LIGHTMAMBA)
+    specs.append(
+        ContractionSpec(
+            name=f"qlinear W{w8a8.w_bits}A{w8a8.a_bits} per-channel row (K<={max_in_features})",
+            origin="qlinear",
+            x_bits=w8a8.a_bits,
+            w_bits=w8a8.w_bits,
+            group_len=max_in_features,
+            acc_bits=64,
+        )
+    )
+    return specs
+
+
+def _mmu_specs() -> List[ContractionSpec]:
+    """The per-platform MMU contractions at their operating precisions.
+
+    Each FPGA platform's default MMU shape accumulates ``din`` products per
+    cycle and requantizes at quantization-group boundaries; the longest
+    accumulation run between scale applications is therefore
+    ``max(din, group_size)`` elements wide at the configured code widths.
+    """
+    from repro.hardware.accelerator import AcceleratorConfig
+    from repro.hardware.platforms import U280, VCK190
+
+    specs: List[ContractionSpec] = []
+    for platform in (VCK190, U280):
+        for w_bits, a_bits in ((4, 4), (8, 8)):
+            config = AcceleratorConfig(
+                platform=platform, weight_bits=w_bits, act_bits=a_bits
+            )
+            mmu = config.mmu_config()
+            group_len = max(mmu.din, config.group_size)
+            specs.append(
+                ContractionSpec(
+                    name=(
+                        f"mmu {platform.name} din{mmu.din} "
+                        f"W{w_bits}A{a_bits} g{config.group_size}"
+                    ),
+                    origin="mmu",
+                    x_bits=a_bits,
+                    w_bits=w_bits,
+                    group_len=group_len,
+                    acc_bits=32,
+                )
+            )
+    return specs
+
+
+def default_registry() -> List[ContractionSpec]:
+    """Every integer contraction the committed configurations can execute."""
+    return _ssm_specs() + _qlinear_specs() + _mmu_specs()
+
+
+# ----------------------------------------------------------------------
+# Proving
+# ----------------------------------------------------------------------
+def prove(
+    specs: List[ContractionSpec],
+) -> Tuple[List[Finding], List[Dict[str, object]]]:
+    """Check every spec; returns (findings, per-contraction margin table)."""
+    findings: List[Finding] = []
+    margins: List[Dict[str, object]] = []
+    for spec in specs:
+        margins.append(spec.to_json())
+        if spec.overflows:
+            findings.append(
+                Finding(
+                    code="OV301",
+                    message=(
+                        f"contraction '{spec.name}': worst-case partial sum "
+                        f"{spec.worst_case} exceeds the INT{spec.acc_bits} "
+                        f"accumulator capacity {spec.acc_max} "
+                        f"(headroom {spec.headroom_bits:.2f} bits)"
+                    ),
+                    path="repro.analysis.overflow",
+                    line=0,
+                    symbol=spec.name,
+                )
+            )
+    return findings, margins
+
+
+def prove_default_registry() -> Tuple[List[Finding], List[Dict[str, object]]]:
+    return prove(default_registry())

@@ -185,8 +185,12 @@ def fig7_tiling_uram(
     """Fig. 7: SSMU URAM with tensor-by-tensor vs tile-by-tile buffers."""
     base = config or AcceleratorConfig(platform=VCK190)
     model_config = get_preset(model_preset)
-    coarse = LightMambaAccelerator(base.with_overrides(schedule=ScheduleMode.REORDERED), model_config)
-    fine = LightMambaAccelerator(base.with_overrides(schedule=ScheduleMode.FINE_GRAINED), model_config)
+    coarse = LightMambaAccelerator(
+        base.with_overrides(schedule=ScheduleMode.REORDERED), model_config
+    )
+    fine = LightMambaAccelerator(
+        base.with_overrides(schedule=ScheduleMode.FINE_GRAINED), model_config
+    )
     before = coarse.uram_usage()
     after = fine.uram_usage()
     return {

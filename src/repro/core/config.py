@@ -30,7 +30,9 @@ class CoDesignConfig:
     """
 
     model_preset: str = "mamba2-2.7b"
-    quant: QuantConfig = field(default_factory=lambda: QuantConfig.w4a4(QuantMethod.LIGHTMAMBA_STAR))
+    quant: QuantConfig = field(
+        default_factory=lambda: QuantConfig.w4a4(QuantMethod.LIGHTMAMBA_STAR)
+    )
     accelerator: AcceleratorConfig = field(default_factory=AcceleratorConfig)
 
     def __post_init__(self) -> None:

@@ -91,7 +91,9 @@ class LightMambaPipeline:
     # ------------------------------------------------------------------
     # Combined
     # ------------------------------------------------------------------
-    def run(self, setup: Optional[ReferenceSetup] = None, evaluate_tasks: bool = False) -> CoDesignReport:
+    def run(
+        self, setup: Optional[ReferenceSetup] = None, evaluate_tasks: bool = False
+    ) -> CoDesignReport:
         """Produce the combined report.
 
         Parameters

@@ -29,7 +29,13 @@ from repro.eval.data import (
     split_into_sequences,
 )
 from repro.eval.perplexity import perplexity, sequence_cross_entropy
-from repro.eval.tasks import TaskExample, SyntheticTask, TaskSpec, DEFAULT_TASK_SPECS, build_task_suite
+from repro.eval.tasks import (
+    TaskExample,
+    SyntheticTask,
+    TaskSpec,
+    DEFAULT_TASK_SPECS,
+    build_task_suite,
+)
 from repro.eval.harness import (
     TaskResult,
     EvaluationReport,

@@ -79,7 +79,9 @@ class ZipfCorpusGenerator:
         draws = rng.choice(self.vocab_size, size=num_tokens, p=probs)
         return permutation[draws]
 
-    def sequences(self, num_sequences: int, seq_len: int, seed: int | None = None) -> List[np.ndarray]:
+    def sequences(
+        self, num_sequences: int, seq_len: int, seed: int | None = None
+    ) -> List[np.ndarray]:
         """Generate ``num_sequences`` independent sequences."""
         stream = self.generate(num_sequences * seq_len, seed=seed)
         return split_into_sequences(stream, seq_len)
@@ -130,7 +132,9 @@ class MarkovCorpusGenerator:
             tokens[i] = rng.choice(self.vocab_size, p=matrix[tokens[i - 1]])
         return tokens
 
-    def sequences(self, num_sequences: int, seq_len: int, seed: int | None = None) -> List[np.ndarray]:
+    def sequences(
+        self, num_sequences: int, seq_len: int, seed: int | None = None
+    ) -> List[np.ndarray]:
         base = self.seed if seed is None else seed
         return [
             self.generate(seq_len, seed=base + 7919 * (i + 1)) for i in range(num_sequences)

@@ -31,7 +31,13 @@ from repro.mamba.init import InitConfig, OutlierProfile
 from repro.mamba.model import Mamba2Model
 from repro.quant.calibration import CalibrationResult, collect_activation_stats
 
-__all__ = ["EVAL_OUTLIER_PROFILE", "EVAL_INIT", "ReferenceSetup", "build_reference_model", "build_reference_setup"]
+__all__ = [
+    "EVAL_OUTLIER_PROFILE",
+    "EVAL_INIT",
+    "ReferenceSetup",
+    "build_reference_model",
+    "build_reference_setup",
+]
 
 
 #: Outlier structure of the evaluation model: every gate channel can spike

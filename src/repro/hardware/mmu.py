@@ -60,7 +60,9 @@ class MMUConfig:
     @property
     def dsp_count(self) -> int:
         """DSP slices of the integer-packed implementation."""
-        return dsps_for_macs(self.native_macs_per_cycle, min(self.weight_bits, 8), min(self.act_bits, 8))
+        return dsps_for_macs(
+            self.native_macs_per_cycle, min(self.weight_bits, 8), min(self.act_bits, 8)
+        )
 
     @property
     def effective_macs_per_cycle(self) -> float:

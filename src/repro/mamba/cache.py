@@ -212,7 +212,9 @@ class LayerCache:
 
     def _require_batched(self, op: str) -> None:
         if self.batch_size is None:
-            raise ValueError(f"{op} requires a batched cache (see LayerCache.zeros(batch_size=...))")
+            raise ValueError(
+                f"{op} requires a batched cache (see LayerCache.zeros(batch_size=...))"
+            )
 
     def num_elements(self) -> int:
         """Total scalars held by this layer's recurrent state."""

@@ -76,7 +76,9 @@ def pot_quantize_dequantize(
     x: np.ndarray, bits: int = 8, group_size: int = 128
 ) -> np.ndarray:
     """Fake-quantize ``x`` with per-group PoT-scale symmetric quantization."""
-    return quantize_dequantize(np.asarray(x, dtype=np.float64), pot_quantizer_config(bits, group_size))
+    return quantize_dequantize(
+        np.asarray(x, dtype=np.float64), pot_quantizer_config(bits, group_size)
+    )
 
 
 def requantize_reference(

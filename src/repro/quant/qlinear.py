@@ -34,7 +34,7 @@ from repro.quant.rtn import activation_quantizer_config, weight_quantizer_config
 __all__ = ["QuantizedLinear", "grouped_integer_matmul"]
 
 
-def grouped_integer_matmul(
+def grouped_integer_matmul(  # integer-resident
     x_codes: np.ndarray,
     x_scales: np.ndarray,
     w_codes: np.ndarray,
@@ -101,7 +101,7 @@ def grouped_integer_matmul(
         lo, hi = g * group, min((g + 1) * group, in_features)
         acc = x32[..., :, lo:hi] @ np.swapaxes(w32[..., :, lo:hi], -1, -2)
         term = (
-            acc.astype(np.float64)
+            acc.astype(np.float64)  # quant-point: per-group scale epilogue
             * x_scales[..., :, g, None]
             * w_scales[..., None, :, g]
         )
@@ -221,7 +221,9 @@ class QuantizedLinear:
         )
 
     @staticmethod
-    def _expand_group_scales(qt: QuantizedTensor, rows: int, in_features: int, group: int) -> np.ndarray:
+    def _expand_group_scales(
+        qt: QuantizedTensor, rows: int, in_features: int, group: int
+    ) -> np.ndarray:
         """Normalise any granularity's scales to a per-(row, group) matrix."""
         n_groups = -(-in_features // group)
         gran = qt.config.granularity

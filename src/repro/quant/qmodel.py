@@ -39,7 +39,11 @@ import numpy as np
 
 from repro.mamba.model import Mamba2Model
 from repro.quant.calibration import CalibrationResult, collect_activation_stats
-from repro.quant.outlier_suppression import OSPlusConfig, apply_shift_and_scale, compute_shift_and_scale
+from repro.quant.outlier_suppression import (
+    OSPlusConfig,
+    apply_shift_and_scale,
+    compute_shift_and_scale,
+)
 from repro.quant.quantizer import QuantizerConfig, quantize_dequantize
 from repro.quant.rotation import RotationConfig, rotate_model
 from repro.quant.rtn import (
@@ -182,7 +186,9 @@ def _apply_osplus(block, calibration: CalibrationResult, config: QuantConfig):
         np.zeros_like(shift_out), block.out_proj_weight, shift_out, scale_out
     )
     block.out_proj_weight = new_w_out
-    block.out_proj_bias = bias_out if block.out_proj_bias is None else block.out_proj_bias + bias_out
+    block.out_proj_bias = (
+        bias_out if block.out_proj_bias is None else block.out_proj_bias + bias_out
+    )
 
     return _ShiftScale(shift_in, scale_in), _ShiftScale(shift_out, scale_out)
 

@@ -199,13 +199,14 @@ class QuantizedSSMStep:
     # ------------------------------------------------------------------
     # Integer-resident state plumbing
     # ------------------------------------------------------------------
-    def quantize_state_codes(self, state: np.ndarray) -> QuantizedSSMState:
+    def quantize_state_codes(self, state: np.ndarray) -> QuantizedSSMState:  # integer-resident
         """Quantize a float state into the resident codes + scales container.
 
         For a state that is already on the PoT grid (every state this class
         ever hands out) the quantization is exact, so converting between the
         float and resident representations never changes the carried values.
         """
+        # quant-point: float state onto the resident codes + scales grid
         qt = quantize(np.asarray(state, dtype=np.float64), self._qcfg)
         return QuantizedSSMState(
             codes=qt.codes,
@@ -214,7 +215,7 @@ class QuantizedSSMStep:
             bits=self.config.bits,
         )
 
-    def _state_values(self, state) -> np.ndarray:
+    def _state_values(self, state) -> np.ndarray:  # integer-resident
         """The float view of an incoming state, quantized onto the grid.
 
         A resident :class:`QuantizedSSMState` dequantizes directly (its codes
@@ -223,13 +224,13 @@ class QuantizedSSMStep:
         is enabled, exactly as before.
         """
         if isinstance(state, QuantizedSSMState):
-            return state.dequantize()
-        state = np.asarray(state, dtype=np.float64)
+            return state.dequantize()  # quant-point: resident codes -> float view
+        state = np.asarray(state, dtype=np.float64)  # quant-point: fake-quant entry
         if self.config.quantize_state:
-            state = self._q(state)
+            state = self._q(state)  # quant-point: state fake-quant round trip
         return state
 
-    def zeros_cache(
+    def zeros_cache(  # integer-resident
         self, config: Mamba2Config, batch_size: Optional[int] = None
     ) -> QuantizedLayerCache:
         """A fresh integer-resident layer cache (zero codes, epsilon scales).
@@ -240,11 +241,11 @@ class QuantizedSSMStep:
         so the zero cache decodes back to exact zeros.
         """
         lead = () if batch_size is None else (batch_size,)
-        state = np.zeros(
+        state = np.zeros(  # quant-point: zero state buffer, quantized to codes below
             lead + (config.nheads, config.headdim, config.d_state), dtype=np.float64
         )
         return QuantizedLayerCache(
-            conv_state=np.zeros(
+            conv_state=np.zeros(  # quant-point: conv taps stay float (not SSM-quantized)
                 lead + (config.conv_dim, config.d_conv), dtype=np.float64
             ),
             ssm_state=self.quantize_state_codes(state),
@@ -265,7 +266,7 @@ class QuantizedSSMStep:
             self._static_cache = cached
         return cached[1]
 
-    def __call__(
+    def __call__(  # integer-resident
         self,
         params: SSMParams,
         x: np.ndarray,
@@ -286,32 +287,33 @@ class QuantizedSSMStep:
         """
         d_col = self._d_col(params)
         resident = isinstance(state, QuantizedSSMState)
-        x = self._q(np.asarray(x, dtype=np.float64))
-        B = self._q(np.asarray(B, dtype=np.float64))
-        C = self._q(np.asarray(C, dtype=np.float64))
+        x = self._q(np.asarray(x, dtype=np.float64))  # quant-point: per-token x
+        B = self._q(np.asarray(B, dtype=np.float64))  # quant-point: per-token B
+        C = self._q(np.asarray(C, dtype=np.float64))  # quant-point: per-token C
         state = self._state_values(state)
 
         # Non-linear operators stay in floating point (dedicated FPGA units);
         # the decay pair is computed once per step by the shared helper.
         delta, a_bar = ssm_decay(params, dt)
 
-        delta_mul_b = self._qp(delta[..., :, None] * B[..., None, :])          # Delta (.) B
-        b_mul_x = self._qp(delta_mul_b[..., :, None, :] * x[..., :, :, None])  # B_bar (.) x
-        a_mul_h = self._qp(a_bar[..., :, None, None] * state)                  # A_bar (.) h
+        delta_mul_b = self._qp(delta[..., :, None] * B[..., None, :])  # quant-point: Delta (.) B
+        # quant-point: B_bar (.) x
+        b_mul_x = self._qp(delta_mul_b[..., :, None, :] * x[..., :, :, None])
+        a_mul_h = self._qp(a_bar[..., :, None, None] * state)  # quant-point: A_bar (.) h
         new_state = a_mul_h + b_mul_x
         out_state = new_state
         if resident:
             # One quantization pass: the codes become the resident state and
             # their dequantized view feeds the readout below.
             out_state = self.quantize_state_codes(new_state)
-            new_state = out_state.dequantize()
+            new_state = out_state.dequantize()  # quant-point: readout view of the codes
         elif self.config.quantize_state:
-            new_state = self._q(new_state)
+            new_state = self._q(new_state)  # quant-point: state requant
             out_state = new_state
 
-        h_mul_c = self._qp(new_state * C[..., None, None, :])                  # h (.) C
+        h_mul_c = self._qp(new_state * C[..., None, None, :])  # quant-point: h (.) C
         y_ssm = np.sum(h_mul_c, axis=-1)
-        x_mul_d = self._qp(d_col * x)                                          # x (.) D
+        x_mul_d = self._qp(d_col * x)  # quant-point: x (.) D
         y = y_ssm + x_mul_d
         return y, out_state
 
@@ -358,7 +360,7 @@ class QuantizedChunkedScan(QuantizedSSMStep):
     #: through :meth:`prefill_scan` instead of the per-token loop.
     supports_prefill_scan = True
 
-    def prefill_scan(
+    def prefill_scan(  # integer-resident
         self,
         params: SSMParams,
         x: np.ndarray,
@@ -403,10 +405,10 @@ class QuantizedChunkedScan(QuantizedSSMStep):
         if chunk_size <= 0:
             raise ValueError("chunk_size must be positive")
         resident = isinstance(initial_state, QuantizedSSMState)
-        x = np.asarray(x, dtype=np.float64)
-        B = np.asarray(B, dtype=np.float64)
-        C = np.asarray(C, dtype=np.float64)
-        dt = np.asarray(dt, dtype=np.float64)
+        x = np.asarray(x, dtype=np.float64)  # quant-point: float entry staging
+        B = np.asarray(B, dtype=np.float64)  # quant-point: float entry staging
+        C = np.asarray(C, dtype=np.float64)  # quant-point: float entry staging
+        dt = np.asarray(dt, dtype=np.float64)  # quant-point: float entry staging
         if x.ndim not in (3, 4):
             raise ValueError(
                 "x must have shape (seq_len, nheads, headdim) or "
@@ -420,11 +422,12 @@ class QuantizedChunkedScan(QuantizedSSMStep):
         lead = x.shape[:1] if batched else ()
         state_shape = lead + (nheads, headdim, d_state)
         if initial_state is None:
-            state = np.zeros(state_shape, dtype=np.float64)
+            state = np.zeros(state_shape, dtype=np.float64)  # quant-point: zero state
         else:
             if resident:
-                state = initial_state.dequantize()
+                state = initial_state.dequantize()  # quant-point: resident entry
             else:
+                # quant-point: float entry copy
                 state = np.array(initial_state, dtype=np.float64, copy=True)
             if state.shape != state_shape:
                 raise ValueError(
@@ -456,21 +459,23 @@ class QuantizedChunkedScan(QuantizedSSMStep):
         # sequence at once is bit-identical to the step's per-token _q.  The
         # integer chunk body keeps the raw codes of C and of the re-quantized
         # Delta (.) B product next to their float views.
-        qx = self._q(x)
-        qB = self._q(B)
-        c_qt = quantize(C, self._qcfg)
-        qC = dequantize(c_qt)
+        qx = self._q(x)  # quant-point: x chunk quantization
+        qB = self._q(B)  # quant-point: B chunk quantization
+        c_qt = quantize(C, self._qcfg)  # quant-point: C codes (kept for the MMU body)
+        qC = dequantize(c_qt)  # quant-point: C float view
         delta = softplus(dt + params.dt_bias)               # (..., T, h)
         log_decay = delta * A                               # (..., T, h), negative
         # Delta (.) B, re-quantized exactly as the step's delta_mul_b.
         if integer_body:
+            # quant-point: Delta (.) B requant, keeping codes for the MMU body
             db_qt = quantize(delta[..., None] * qB[..., None, :], self._qcfg)
-            qdB = dequantize(db_qt)                          # (..., T, h, n)
+            qdB = dequantize(db_qt)  # quant-point: float view (..., T, h, n)
         else:
             db_qt = None
-            qdB = self._qp(delta[..., None] * qB[..., None, :])  # (..., T, h, n)
+            # quant-point: Delta (.) B requant (..., T, h, n)
+            qdB = self._qp(delta[..., None] * qB[..., None, :])
         # D (.) x skip path, re-quantized exactly as the step's x_mul_d.
-        y = self._qp(d_col * qx)
+        y = self._qp(d_col * qx)  # quant-point: x (.) D skip
 
         state_qt: Optional[QuantizedTensor] = None
         if resident:
@@ -482,10 +487,10 @@ class QuantizedChunkedScan(QuantizedSSMStep):
                 shape=initial_state.shape,
             )
         elif quantize_state:
-            state_qt = quantize(state, self._qcfg)           # chunk-entry quantization
-            state = dequantize(state_qt)
+            state_qt = quantize(state, self._qcfg)  # quant-point: chunk-entry quantization
+            state = dequantize(state_qt)  # quant-point: chunk-entry float view
         if seq_lens is not None:
-            snapshot = np.zeros_like(state)
+            snapshot = np.zeros_like(state)  # quant-point: seq_lens snapshot buffer
 
         # The loop below deliberately mirrors (rather than shares) the chunk
         # body of ssd_chunked_scan: the FP scan contracts one head-independent
@@ -496,6 +501,7 @@ class QuantizedChunkedScan(QuantizedSSMStep):
         qmax = self._qcfg.spec.qmax
         group = self._qcfg.group_size
         chunk = min(chunk_size, seq_len)
+        # quant-point: the causal mask is a float constant, not a tensor operand
         causal_full = np.tril(np.ones((chunk, chunk), dtype=np.float64))
         for start in range(0, seq_len, chunk):
             stop = min(start + chunk, seq_len)
@@ -569,6 +575,7 @@ class QuantizedChunkedScan(QuantizedSSMStep):
                         np.exp(lc[row, j])[:, None, None] * state[row]
                         + wx_j @ np.moveaxis(bc[row, : j + 1], -2, -3)
                     )
+                    # quant-point: row snapshot requant
                     snapshot[row] = self._q(row_state) if quantize_state else row_state
 
             # Chunk hand-off, then the chunk-boundary state quantization (kept
@@ -578,8 +585,8 @@ class QuantizedChunkedScan(QuantizedSSMStep):
             wx = np.moveaxis(carry[..., None] * xc, -3, -1)  # (..., h, p, Q)
             state = np.exp(last)[..., :, None, None] * state + wx @ bh
             if quantize_state:
-                state_qt = quantize(state, self._qcfg)
-                state = dequantize(state_qt)
+                state_qt = quantize(state, self._qcfg)  # quant-point: chunk boundary
+                state = dequantize(state_qt)  # quant-point: boundary float view
 
         if seq_lens is not None:
             if resident:

@@ -285,11 +285,11 @@ class InferenceEngine:
         self.stats = EngineStats()
         self.queue = RequestQueue() if clock is None else RequestQueue(clock=clock)
         self._submit_lock = threading.Lock()
-        self._next_id = 0
+        self._next_id = 0  # guarded-by: _submit_lock
         self._slots: List[Optional[_Slot]] = [None] * max_batch_size
         self._prefilling: Dict[int, _PrefillProgress] = {}
         self._parked: Dict[int, _PrefillProgress] = {}
-        self._latency: Dict[int, RequestLatency] = {}
+        self._latency: Dict[int, RequestLatency] = {}  # guarded-by: _submit_lock
         self._pending_completions: List[Completion] = []
         # The model's own cache factory: quantized models with a persistent
         # integer state get a codes-resident slot pool, so admission and
@@ -421,7 +421,8 @@ class InferenceEngine:
 
     def latency(self, request_id: int) -> RequestLatency:
         """The latency record of a submitted request (any lifecycle stage)."""
-        return self._latency[request_id]
+        with self._submit_lock:
+            return self._latency[request_id]
 
     def clear_finished_latencies(self) -> int:
         """Drop latency records of finished requests; returns how many.
@@ -430,15 +431,18 @@ class InferenceEngine:
         :meth:`latency` works after completion (benchmarks and tests rely on
         it); a long-running serving loop should call this periodically --
         every completion already carries its own record
-        (:attr:`Completion.latency`), so nothing is lost.
+        (:attr:`Completion.latency`), so nothing is lost.  Safe to call from
+        any thread: the record table is guarded by the submit lock, so a
+        sweep cannot race a concurrent :meth:`submit` inserting a record.
         """
-        finished = [
-            request_id
-            for request_id, record in self._latency.items()
-            if record.finished_step is not None
-        ]
-        for request_id in finished:
-            del self._latency[request_id]
+        with self._submit_lock:
+            finished = [
+                request_id
+                for request_id, record in self._latency.items()
+                if record.finished_step is not None
+            ]
+            for request_id in finished:
+                del self._latency[request_id]
         return len(finished)
 
     @property
@@ -500,10 +504,11 @@ class InferenceEngine:
             slot.logprobs.append(logprob)
             chosen[row] = token
             self.stats.decoded_tokens += 1
-            latency = self._latency[slot.request_id]
-            if latency.first_token_step is None:
-                latency.first_token_step = self.stats.engine_steps
-            latency.decode_iterations += 1
+            with self._submit_lock:
+                latency = self._latency[slot.request_id]
+                if latency.first_token_step is None:
+                    latency.first_token_step = self.stats.engine_steps
+                latency.decode_iterations += 1
             if on_token is not None:
                 on_token(slot.request_id, token, logprob)
                 if self._slots[slot_idx] is not slot:
@@ -627,13 +632,15 @@ class InferenceEngine:
             if request_id not in self.queue:
                 raise ValueError(f"plan admits request {request_id}, which is not queued")
             entry = self.queue.pop(request_id)
-            latency = self._latency[request_id]
-            if latency.admitted_step is None:
-                # First admission only: a preempted-then-re-admitted request
-                # keeps one admitted count and its original admission stamp.
-                self.stats.admitted += 1
-                latency.admitted_step = self.stats.engine_steps
-                latency.admitted_at = self.queue.clock()
+            with self._submit_lock:
+                latency = self._latency[request_id]
+                if latency.admitted_step is None:
+                    # First admission only: a preempted-then-re-admitted
+                    # request keeps one admitted count and its original
+                    # admission stamp.
+                    self.stats.admitted += 1
+                    latency.admitted_step = self.stats.engine_steps
+                    latency.admitted_at = self.queue.clock()
             if entry.request.max_new_tokens == 0:
                 # Degenerate request: completes immediately, never holds a slot.
                 self.stats.completed += 1
@@ -705,9 +712,10 @@ class InferenceEngine:
         return int(picked[0]), float(logprob[0])
 
     def _finish(self, request_id: int, reason: str) -> None:
-        latency = self._latency[request_id]
-        latency.finished_step = self.stats.engine_steps
-        latency.finish_reason = reason
+        with self._submit_lock:
+            latency = self._latency[request_id]
+            latency.finished_step = self.stats.engine_steps
+            latency.finish_reason = reason
 
     def _completion(
         self,
@@ -717,6 +725,8 @@ class InferenceEngine:
         logprobs: List[float],
         reason: str,
     ) -> Completion:
+        with self._submit_lock:
+            latency = self._latency.get(request_id)
         return Completion(
             request_id=request_id,
             request=request,
@@ -724,7 +734,7 @@ class InferenceEngine:
                 prompt=list(request.prompt), tokens=list(tokens), logprobs=list(logprobs)
             ),
             finish_reason=reason,
-            latency=self._latency.get(request_id),
+            latency=latency,
         )
 
     def _retire(self, slot_idx: int, reason: str) -> Completion:

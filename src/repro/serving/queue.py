@@ -83,8 +83,8 @@ class RequestQueue:
     """
 
     clock: Clock = time.monotonic
-    _entries: Dict[int, QueueEntry] = field(default_factory=dict)
-    _seq: int = 0
+    _entries: Dict[int, QueueEntry] = field(default_factory=dict)  # guarded-by: _cond
+    _seq: int = 0  # guarded-by: _cond
     _cond: threading.Condition = field(default_factory=threading.Condition)
 
     # ------------------------------------------------------------------

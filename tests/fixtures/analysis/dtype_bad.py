@@ -1,0 +1,26 @@
+"""Fixture: unsanctioned float materializations in integer-resident regions.
+
+Parsed by the analyzer in tests; never imported or executed.
+"""
+
+import numpy as np
+
+
+def quantize(x, cfg):
+    return x
+
+
+def leaky_kernel(codes, scales):  # integer-resident
+    acc = codes @ codes.T
+    out = acc.astype(np.float64)  # DT201: unsanctioned float64 cast
+    buf = np.zeros(out.shape)  # DT202: float-default allocation
+    staged = np.asarray(scales, dtype=np.float64)  # DT201: float64 materialization
+    return out + buf + staged
+
+
+def leaky_suppressed(codes):  # integer-resident
+    return codes.astype(np.float64)  # repro-analysis: ignore[DT201]
+
+
+def round_trip(x, cfg):  # integer-resident
+    return quantize(x, cfg)  # DT203: fake-quant round trip

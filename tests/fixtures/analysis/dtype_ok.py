@@ -1,0 +1,18 @@
+"""Fixture: an integer-resident region that keeps its residency contract.
+
+Parsed by the analyzer in tests; never imported or executed.
+"""
+
+import numpy as np
+
+
+def clean_kernel(codes, scales):  # integer-resident
+    x32 = codes.astype(np.int32)
+    acc = x32 @ x32.T
+    out = acc.astype(np.float64)  # quant-point: scale-application epilogue
+    mask = np.zeros(acc.shape, dtype=np.int64)
+    return out * scales + mask
+
+
+def unregistered_float_path(values):
+    return np.asarray(values, dtype=np.float64)

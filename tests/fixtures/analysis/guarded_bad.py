@@ -1,0 +1,31 @@
+"""Fixture: every GB1xx rule fires exactly where the tests expect.
+
+Parsed by the analyzer in tests; never imported or executed.
+"""
+
+import threading
+
+
+class BadCounter:
+    """Guarded attributes accessed without their declared locks."""
+
+    GUARDED_BY = {"ghost": "_missing_lock"}  # GB104: no such lock attribute
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._cond = threading.Condition()
+        self._count = 0  # guarded-by: _lock
+        self._items = []  # guarded-by: _cond
+
+    def bump(self):
+        self._count += 1  # GB101: lock not held
+
+    def bump_suppressed(self):
+        self._count += 1  # repro-analysis: ignore[GB101]
+
+    def bad_wait(self):
+        with self._cond:
+            self._cond.wait()  # GB102: not inside a predicate while-loop
+
+    def bad_notify(self):
+        self._cond.notify()  # GB103: condition not held

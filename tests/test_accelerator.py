@@ -79,7 +79,10 @@ class TestScheduler:
         of the serial-dependency chain (in_proj -> SSM -> out_proj)."""
         phases = self._phases(in_proj_memory=10.0, out_proj_memory=5.0, other_memory=0.0)
         schedule = schedule_block(phases, ScheduleMode.FINE_GRAINED)
-        assert schedule.total_cycles >= phases.out_proj_compute + phases.nheads * phases.ssm_cycles_per_head
+        assert (
+            schedule.total_cycles
+            >= phases.out_proj_compute + phases.nheads * phases.ssm_cycles_per_head
+        )
 
     def test_validation(self):
         with pytest.raises(ValueError):

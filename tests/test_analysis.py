@@ -1,0 +1,254 @@
+"""Tests for the :mod:`repro.analysis` static-verification subsystem.
+
+Every rule family is pinned by a paired firing / non-firing fixture under
+``tests/fixtures/analysis/``; the overflow prover is pinned against the
+*runtime* guard of :func:`repro.quant.qlinear.grouped_integer_matmul` (the
+two must agree configuration-by-configuration); and the live repository must
+analyze clean modulo the committed baseline -- the same gate CI applies.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis import (
+    AnalysisReport,
+    Baseline,
+    ContractionSpec,
+    analyze_paths,
+    analyze_repo,
+    default_registry,
+    prove,
+    prove_default_registry,
+    repo_root,
+)
+from repro.analysis.cli import main
+from repro.quant.qlinear import grouped_integer_matmul
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures" / "analysis"
+
+
+# ----------------------------------------------------------------------
+# Guarded-by lock discipline (GB1xx)
+# ----------------------------------------------------------------------
+def test_guarded_bad_fixture_fires_every_lock_rule():
+    findings = analyze_paths([FIXTURES / "guarded_bad.py"])
+    active = [f for f in findings if not f.suppressed]
+    assert sorted(f.code for f in active) == ["GB101", "GB102", "GB103", "GB104"]
+
+    gb101 = next(f for f in active if f.code == "GB101")
+    assert gb101.symbol == "BadCounter.bump"
+    assert "_count" in gb101.message and "_lock" in gb101.message
+
+    gb102 = next(f for f in active if f.code == "GB102")
+    assert gb102.symbol == "BadCounter.bad_wait"
+
+    gb103 = next(f for f in active if f.code == "GB103")
+    assert gb103.symbol == "BadCounter.bad_notify"
+
+    gb104 = next(f for f in active if f.code == "GB104")
+    assert "ghost" in gb104.message and "_missing_lock" in gb104.message
+
+
+def test_guarded_bad_fixture_inline_suppression():
+    findings = analyze_paths([FIXTURES / "guarded_bad.py"])
+    suppressed = [f for f in findings if f.suppressed]
+    assert [f.code for f in suppressed] == ["GB101"]
+    assert suppressed[0].symbol == "BadCounter.bump_suppressed"
+
+
+def test_guarded_ok_fixture_is_quiet():
+    assert analyze_paths([FIXTURES / "guarded_ok.py"]) == []
+
+
+def test_checker_rediscovers_unguarded_latency_pattern(tmp_path):
+    """The original engine gap: `_latency` written under `_submit_lock` in
+    submit() but read without it elsewhere must produce a GB101."""
+    source = textwrap.dedent(
+        """
+        import threading
+
+        class EngineLike:
+            def __init__(self):
+                self._submit_lock = threading.Lock()
+                self._latency = {}  # guarded-by: _submit_lock
+
+            def submit(self, rid, record):
+                with self._submit_lock:
+                    self._latency[rid] = record
+
+            def latency(self, rid):
+                return self._latency[rid]
+        """
+    )
+    path = tmp_path / "engine_like.py"
+    path.write_text(source, encoding="utf-8")
+    findings = analyze_paths([path])
+    assert [f.code for f in findings] == ["GB101"]
+    assert findings[0].symbol == "EngineLike.latency"
+    assert "_latency" in findings[0].message
+
+
+# ----------------------------------------------------------------------
+# Integer-path dtype flow (DT2xx)
+# ----------------------------------------------------------------------
+def test_dtype_bad_fixture_fires_every_dtype_rule():
+    findings = analyze_paths([FIXTURES / "dtype_bad.py"])
+    active = [f for f in findings if not f.suppressed]
+    assert sorted(f.code for f in active) == ["DT201", "DT201", "DT202", "DT203"]
+    symbols = {f.symbol for f in active}
+    assert symbols == {"leaky_kernel", "round_trip"}
+
+    suppressed = [f for f in findings if f.suppressed]
+    assert [f.code for f in suppressed] == ["DT201"]
+    assert suppressed[0].symbol == "leaky_suppressed"
+
+
+def test_dtype_ok_fixture_is_quiet():
+    """Sanctioned quant-points and unregistered functions produce nothing."""
+    assert analyze_paths([FIXTURES / "dtype_ok.py"]) == []
+
+
+# ----------------------------------------------------------------------
+# Baseline workflow
+# ----------------------------------------------------------------------
+def test_baseline_roundtrip_and_partition(tmp_path):
+    findings = analyze_paths([FIXTURES / "guarded_bad.py"])
+    active = [f for f in findings if not f.suppressed]
+    baseline_path = tmp_path / "baseline.json"
+    Baseline.write(baseline_path, active)
+
+    baseline = Baseline.load(baseline_path)
+    assert all(baseline.contains(f) for f in active)
+
+    report = AnalysisReport(findings=findings)
+    now_active, inline, baselined = report.partition(baseline)
+    assert now_active == []
+    assert len(baselined) == len(active)
+    assert [f.code for f in inline] == ["GB101"]
+
+    # The baseline is keyed by fingerprint, not line: unrelated findings of
+    # another module never match it.
+    other = analyze_paths([FIXTURES / "dtype_bad.py"])
+    assert not any(baseline.contains(f) for f in other)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def test_cli_json_report_and_exit_codes(tmp_path, capsys):
+    out_file = tmp_path / "report.json"
+    rc = main(
+        [
+            str(FIXTURES / "guarded_bad.py"),
+            "--format",
+            "json",
+            "--no-overflow",
+            "--output",
+            str(out_file),
+        ]
+    )
+    assert rc == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["summary"] == {"active": 4, "suppressed": 1, "baselined": 0}
+    assert json.loads(out_file.read_text(encoding="utf-8")) == payload
+
+    assert main([str(FIXTURES / "guarded_ok.py"), "--no-overflow"]) == 0
+    capsys.readouterr()
+
+
+def test_cli_write_baseline_accepts_findings(tmp_path, capsys):
+    baseline = tmp_path / "bl.json"
+    args = [str(FIXTURES / "dtype_bad.py"), "--no-overflow", "--baseline", str(baseline)]
+    assert main(args + ["--write-baseline"]) == 0
+    assert baseline.exists()
+    assert main(args) == 0  # everything is baselined now
+    capsys.readouterr()
+
+
+def test_cli_list_codes(capsys):
+    assert main(["--list-codes"]) == 0
+    out = capsys.readouterr().out
+    for code in ("GB101", "DT201", "OV301"):
+        assert code in out
+
+
+# ----------------------------------------------------------------------
+# Static overflow prover (OV3xx)
+# ----------------------------------------------------------------------
+def test_prover_agrees_with_runtime_guard():
+    """`ContractionSpec.overflows` must be true exactly for the
+    configurations on which `grouped_integer_matmul` raises OverflowError."""
+    rng = np.random.default_rng(0)
+    cases = [(4, 128), (8, 32), (8, 128), (16, 32), (16, 128)]
+    seen = {True: 0, False: 0}
+    for bits, group in cases:
+        spec = ContractionSpec(
+            name=f"test INT{bits} g{group}",
+            origin="test",
+            x_bits=bits,
+            w_bits=bits,
+            group_len=group,
+        )
+        qmax = spec.x_qmax
+        x_codes = rng.integers(-qmax, qmax + 1, size=(2, group))
+        w_codes = rng.integers(-qmax, qmax + 1, size=(3, group))
+        raised = False
+        try:
+            grouped_integer_matmul(
+                x_codes,
+                np.ones((2, 1)),
+                w_codes,
+                np.ones((3, 1)),
+                group_size=group,
+                x_qmax=qmax,
+                w_qmax=qmax,
+            )
+        except OverflowError:
+            raised = True
+        assert raised == spec.overflows, (bits, group)
+        seen[spec.overflows] += 1
+    # Both verdicts must actually be exercised (INT16 overflows, INT8/4 fit).
+    assert seen[True] >= 1 and seen[False] >= 1
+
+
+def test_prove_emits_ov301_for_provable_overflow():
+    unsafe = ContractionSpec(
+        name="unsafe INT16 g128", origin="test", x_bits=16, w_bits=16, group_len=128
+    )
+    findings, margins = prove([unsafe])
+    assert [f.code for f in findings] == ["OV301"]
+    assert findings[0].symbol == unsafe.name
+    assert margins[0]["overflows"] is True
+    assert margins[0]["headroom_bits"] < 0
+
+    safe = ContractionSpec(
+        name="safe INT8 g32", origin="test", x_bits=8, w_bits=8, group_len=32
+    )
+    findings, margins = prove([safe])
+    assert findings == []
+    assert margins[0]["margin"] > 1
+
+
+def test_default_registry_is_proven_safe_with_margin():
+    specs = default_registry()
+    assert {s.origin for s in specs} == {"ssm-chunk-body", "qlinear", "mmu"}
+    findings, margins = prove_default_registry()
+    assert findings == []
+    assert len(margins) == len(specs)
+    assert all(m["margin"] > 1 for m in margins)
+
+
+# ----------------------------------------------------------------------
+# Live-repo self-check (the CI gate)
+# ----------------------------------------------------------------------
+def test_live_repo_is_clean_modulo_baseline():
+    report = analyze_repo()
+    baseline_path = repo_root() / "analysis-baseline.json"
+    baseline = Baseline.load(baseline_path) if baseline_path.exists() else None
+    active, _, _ = report.partition(baseline)
+    assert active == [], "\n".join(f.format() for f in active)

@@ -134,7 +134,11 @@ class TestTasks:
             name="x",
             examples=[
                 TaskExample(np.array([1, 2]), [np.array([0]), np.array([1])], 0),
-                TaskExample(np.array([1, 2]), [np.array([0]), np.array([1]), np.array([2]), np.array([3])], 1),
+                TaskExample(
+                    np.array([1, 2]),
+                    [np.array([0]), np.array([1]), np.array([2]), np.array([3])],
+                    1,
+                ),
             ],
         )
         assert task.chance_accuracy == pytest.approx((0.5 + 0.25) / 2)

@@ -617,15 +617,16 @@ class TestRegressionGateZeroMetrics:
 
     def test_zero_committed_metric_cannot_fail_a_clean_run(self):
         gate = _load_check_regression()
+        stall = "decode_stall_iterations"
         committed = {
-            "modes": {"smoke": {"policies": {"paged": {"metrics": {"decode_stall_iterations": 0.0}}}}}
+            "modes": {"smoke": {"policies": {"paged": {"metrics": {stall: 0.0}}}}}
         }
         fresh = {
-            "modes": {"smoke": {"policies": {"paged": {"metrics": {"decode_stall_iterations": 0.0}}}}}
+            "modes": {"smoke": {"policies": {"paged": {"metrics": {stall: 0.0}}}}}
         }
         assert gate.compare_scheduler_metrics("x.json", committed, fresh, 0.30) == []
         # A genuine regression past the absolute slack still fails.
         bad = {
-            "modes": {"smoke": {"policies": {"paged": {"metrics": {"decode_stall_iterations": 5.0}}}}}
+            "modes": {"smoke": {"policies": {"paged": {"metrics": {stall: 5.0}}}}}
         }
         assert gate.compare_scheduler_metrics("x.json", committed, bad, 0.30)

@@ -115,7 +115,11 @@ class TestQuantizeModel:
     def test_original_model_not_modified(self, model, calibration, eval_tokens):
         before = model.forward(eval_tokens)
         quantize_model(model, QuantConfig.w4a4(QuantMethod.LIGHTMAMBA_STAR, group_size=32))
-        quantize_model(model, QuantConfig.w4a4(QuantMethod.OSPLUS, group_size=32), calibration=calibration)
+        quantize_model(
+            model,
+            QuantConfig.w4a4(QuantMethod.OSPLUS, group_size=32),
+            calibration=calibration,
+        )
         np.testing.assert_array_equal(model.forward(eval_tokens), before)
 
     def test_calibration_required_for_sq(self, model):

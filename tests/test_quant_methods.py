@@ -265,7 +265,9 @@ class TestQuantizedSSM:
     def test_output_close_to_fp(self):
         params, x, B, C, dt, state = self._inputs()
         y_fp, s_fp = ssm_step(params, x, B, C, dt, state)
-        y_q, s_q = QuantizedSSMStep(SSMQuantConfig(bits=8, group_size=8))(params, x, B, C, dt, state)
+        y_q, s_q = QuantizedSSMStep(SSMQuantConfig(bits=8, group_size=8))(
+            params, x, B, C, dt, state
+        )
         # The chain of INT8 re-quantizations keeps the state very accurate and
         # the output within a modest relative error.
         assert relative_error(y_fp, y_q) < 0.15
@@ -298,10 +300,16 @@ class TestQuantizedSSM:
         params, x, B, C, dt, state = self._inputs(seed=6)
         y_fp, _ = ssm_step(params, x, B, C, dt, state)
         err4 = relative_error(
-            y_fp, QuantizedSSMStep(SSMQuantConfig(bits=4, group_size=8))(params, x, B, C, dt, state)[0]
+            y_fp,
+            QuantizedSSMStep(SSMQuantConfig(bits=4, group_size=8))(
+                params, x, B, C, dt, state
+            )[0],
         )
         err8 = relative_error(
-            y_fp, QuantizedSSMStep(SSMQuantConfig(bits=8, group_size=8))(params, x, B, C, dt, state)[0]
+            y_fp,
+            QuantizedSSMStep(SSMQuantConfig(bits=8, group_size=8))(
+                params, x, B, C, dt, state
+            )[0],
         )
         assert err8 < err4
 

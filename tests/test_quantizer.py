@@ -60,7 +60,9 @@ class TestQuantizerRoundTrip:
     def test_codes_within_range(self):
         rng = np.random.default_rng(1)
         x = rng.normal(size=(4, 32)) * 100
-        qt = quantize(x, QuantizerConfig(spec=INT4, granularity=Granularity.PER_GROUP, group_size=8))
+        qt = quantize(
+            x, QuantizerConfig(spec=INT4, granularity=Granularity.PER_GROUP, group_size=8)
+        )
         assert qt.codes.max() <= 7 and qt.codes.min() >= -7
 
     def test_int8_precision_better_than_int4(self):
@@ -134,7 +136,9 @@ class TestQuantizerRoundTrip:
     @given(hnp.arrays(np.float64, (3, 24), elements=finite))
     @settings(max_examples=40, deadline=None)
     def test_memory_model(self, x):
-        qt = quantize(x, QuantizerConfig(spec=INT4, granularity=Granularity.PER_GROUP, group_size=8))
+        qt = quantize(
+            x, QuantizerConfig(spec=INT4, granularity=Granularity.PER_GROUP, group_size=8)
+        )
         assert qt.memory_bytes() == pytest.approx(x.size * 0.5 + qt.scales.size * 2)
 
 
