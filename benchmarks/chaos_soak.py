@@ -1,0 +1,131 @@
+"""Chaos soak driver: randomized fault schedules against the engine supervisor.
+
+Runs the :mod:`repro.serving.chaos` soak matrix -- seeded random workloads
+under seeded random :class:`~repro.serving.resilience.FaultPlan` schedules,
+across every shipped scheduler policy -- and checks the supervisor's
+conservation invariants on each cell:
+
+- every submitted request terminates exactly once with a valid
+  ``finish_reason`` (``stop``/``length``, or ``error`` for quarantines);
+- the engine drains completely (no slot, queue, or recovery leaks);
+- every non-degraded successful request's token stream is bit-identical to a
+  fault-free reference run of the same workload under the same scheduler.
+
+The full per-run fault traces and supervisor event logs are written to the
+JSON output -- CI uploads it as the ``chaos-fault-trace`` artifact, so a red
+run is replayable from its ``(scheduler, seed)`` pair alone.  Exit status is
+non-zero iff any invariant was violated; there is no performance number here
+to regression-gate.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/chaos_soak.py [--smoke] [--output PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.bench import format_rows
+from repro.mamba import InitConfig, Mamba2Model, get_preset
+from repro.serving.chaos import SCHEDULER_NAMES, run_chaos_soak
+
+#: Fault-schedule seeds: 7 x 3 schedulers = 21 cells in full mode (the
+#: acceptance floor is 20), 2 x 3 = 6 cells in CI smoke mode.
+FULL_SEEDS = range(7)
+SMOKE_SEEDS = range(2)
+
+
+def run_soak(*, smoke: bool) -> dict:
+    model = Mamba2Model.from_config(get_preset("mamba2-tiny"), InitConfig(seed=0))
+    seeds = list(SMOKE_SEEDS if smoke else FULL_SEEDS)
+    start = time.perf_counter()
+    reports = run_chaos_soak(model, seeds=seeds, schedulers=SCHEDULER_NAMES)
+    elapsed = time.perf_counter() - start
+    return {
+        "benchmark": "chaos_soak",
+        "mode": "smoke" if smoke else "full",
+        "seeds": seeds,
+        "schedulers": list(SCHEDULER_NAMES),
+        "runs": len(reports),
+        "failures": sum(not r.ok for r in reports),
+        "elapsed_s": elapsed,
+        "totals": {
+            key: sum(r.stats[key] for r in reports)
+            for key in (
+                "faults",
+                "rollbacks",
+                "retries",
+                "recovered",
+                "requeued_faults",
+                "quarantined",
+                "degraded",
+                "watchdog_timeouts",
+                "callback_drops",
+            )
+        },
+        "reports": [r.to_json() for r in reports],
+    }
+
+
+def format_summary(payload: dict) -> str:
+    rows = []
+    for report in payload["reports"]:
+        stats = report["stats"]
+        rows.append(
+            {
+                "scheduler": report["scheduler"],
+                "seed": report["seed"],
+                "ok": "yes" if report["ok"] else "NO",
+                "faults": int(stats["faults"]),
+                "recovered": int(stats["recovered"]),
+                "requeued": int(stats["requeued_faults"]),
+                "quarantined": int(stats["quarantined"]),
+                "degraded": int(stats["degraded"]),
+                "watchdog": int(stats["watchdog_timeouts"]),
+            }
+        )
+    totals = payload["totals"]
+    lines = [
+        format_rows(rows),
+        "",
+        f"{payload['runs']} runs, {payload['failures']} failures; totals: "
+        + ", ".join(f"{k}={v}" for k, v in totals.items()),
+    ]
+    for report in payload["reports"]:
+        for violation in report["violations"]:
+            lines.append(
+                f"VIOLATION [{report['scheduler']} seed={report['seed']}]: {violation}"
+            )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="quick CI mode: fewer fault-schedule seeds per scheduler",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).parent / "output" / "chaos_soak.json",
+        help="where to write the JSON report (the CI fault-trace artifact)",
+    )
+    args = parser.parse_args(argv)
+
+    payload = run_soak(smoke=args.smoke)
+    print(format_summary(payload))
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+    print(f"[saved to {args.output}]")
+    return 1 if payload["failures"] else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -48,6 +48,7 @@ CODES: Dict[str, str] = {
     "GB102": "Condition.wait() outside a predicate while-loop",
     "GB103": "Condition wait/notify without holding the owning lock",
     "GB104": "guarded-by annotation names an unknown lock attribute",
+    "CB401": "user callback invoked while holding a contract lock",
     "DT201": "float64 cast/materialization in an integer-resident region",
     "DT202": "float-dtype array allocation in an integer-resident region",
     "DT203": "fake-quant round-trip in an integer-resident region",

@@ -17,8 +17,14 @@ into machine-checked annotations:
 - ``# loop-thread-only`` -- trailing comment on a ``def`` line documents
   that the method runs exclusively on the single consumer/engine thread as
   part of an explicit threading contract; GB101 is not applied inside it.
+- ``# user-callback: <name>`` -- comment on (or directly above) a ``def``
+  line declares that ``<name>`` -- a parameter or ``self`` attribute -- is a
+  *user-supplied* callback: arbitrary foreign code the class promises never
+  to invoke while holding one of its locks (a raising or re-entrant callback
+  under a held lock deadlocks or corrupts the protected state).
 
-Checks performed on every class that declares at least one guard:
+Checks performed on every class that declares at least one guard or user
+callback:
 
 ``GB101``
     A read or write of a guarded ``self.<attr>`` that is not lexically inside
@@ -37,6 +43,10 @@ Checks performed on every class that declares at least one guard:
     A ``guarded-by`` annotation whose lock is never discovered as a
     ``threading.Lock`` / ``RLock`` / ``Condition`` attribute of the class
     (catches typos in the annotations themselves).
+``CB401``
+    A declared user callback invoked while any of the class's locks is
+    lexically held (including locks declared held via ``lock-held``) -- the
+    engine must drop its locks before handing control to user code.
 
 The analysis is lexical (it proves containment in a ``with`` block, not a
 whole-program happens-before relation), which is exactly the discipline the
@@ -59,6 +69,7 @@ __all__ = ["check_lock_discipline"]
 _GUARDED_BY_RE = re.compile(r"guarded-by:\s*([A-Za-z_][A-Za-z0-9_]*)")
 _LOCK_HELD_RE = re.compile(r"lock-held:\s*([A-Za-z0-9_,\s]+)")
 _LOOP_THREAD_RE = re.compile(r"loop-thread-only")
+_USER_CALLBACK_RE = re.compile(r"user-callback:\s*([A-Za-z_][A-Za-z0-9_]*)")
 
 #: ``threading`` factories whose result makes an attribute a known lock.
 _LOCK_FACTORIES = {"Lock", "RLock", "Condition"}
@@ -116,6 +127,7 @@ class _ClassContract:
     guard_lines: Dict[str, int] = field(default_factory=dict)
     locks: Set[str] = field(default_factory=set)
     conditions: Set[str] = field(default_factory=set)
+    callbacks: Set[str] = field(default_factory=set)
 
 
 def _collect_contract(module: SourceModule, cls: ast.ClassDef) -> _ClassContract:
@@ -163,6 +175,9 @@ def _collect_contract(module: SourceModule, cls: ast.ClassDef) -> _ClassContract
     for method in cls.body:
         if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
             continue
+        match = module.marker(_USER_CALLBACK_RE, method.lineno)
+        if match is not None:
+            contract.callbacks.add(match.group(1))
         for node in ast.walk(method):
             if isinstance(node, ast.Assign) and len(node.targets) == 1:
                 attr = _assigned_attr(node.targets[0])
@@ -274,6 +289,19 @@ class _MethodChecker:
         self, node: ast.Call, held: frozenset, in_predicate_while: bool
     ) -> None:
         func = node.func
+        callback = None
+        if isinstance(func, ast.Name):
+            callback = func.id
+        elif isinstance(func, ast.Attribute):
+            callback = _self_attr(func)
+        if callback in self.contract.callbacks and held:
+            locks = ", ".join(f"'self.{lock}'" for lock in sorted(held))
+            self._report(
+                "CB401",
+                f"user callback '{callback}' invoked while holding {locks} in "
+                f"{self.qualname} (drop engine locks before running user code)",
+                node,
+            )
         if not isinstance(func, ast.Attribute):
             return
         receiver = _self_attr(func.value)
@@ -306,7 +334,7 @@ def check_lock_discipline(module: SourceModule) -> List[Finding]:
         if not isinstance(node, ast.ClassDef):
             continue
         contract = _collect_contract(module, node)
-        if not contract.guards:
+        if not contract.guards and not contract.callbacks:
             continue
         for attr, lock in sorted(contract.guards.items()):
             if lock not in contract.locks:

@@ -126,6 +126,22 @@ class QuantizedSSMState:
             bits=first.bits,
         )
 
+    def exact_equal(self, other: "QuantizedSSMState") -> bool:
+        """Bit-exact equality of the *resident* representation.
+
+        Compares the integer codes and the stored scales directly -- never
+        the dequantized floats -- so two states compare equal iff the
+        hardware state buffer would hold identical bits.  This is the
+        comparison the serving supervisor's rollback verification uses: a
+        restored snapshot must reproduce codes and scales exactly.
+        """
+        return (
+            self.group_size == other.group_size
+            and self.bits == other.bits
+            and np.array_equal(self.codes, other.codes)
+            and np.array_equal(self.scales, other.scales)
+        )
+
     def num_elements(self) -> int:
         """Scalars held by the resident state (codes plus scales)."""
         return int(self.codes.size + self.scales.size)
@@ -216,9 +232,34 @@ class LayerCache:
                 f"{op} requires a batched cache (see LayerCache.zeros(batch_size=...))"
             )
 
+    def state_equal(self, other: "LayerCache") -> bool:
+        """Exact value equality of the recurrent state (no tolerance).
+
+        Float arrays compare with :func:`numpy.array_equal`; the quantized
+        subclass compares resident codes + scales instead (see
+        :meth:`QuantizedLayerCache.state_equal`).  ``NaN`` never compares
+        equal, so a corrupted state is never "equal" to a healthy snapshot.
+        """
+        if type(other) is not type(self):
+            return False
+        return np.array_equal(self.conv_state, other.conv_state) and np.array_equal(
+            self.ssm_state, other.ssm_state
+        )
+
     def num_elements(self) -> int:
         """Total scalars held by this layer's recurrent state."""
         return int(self.conv_state.size + self.ssm_state.size)
+
+    def resident_bytes(self) -> float:
+        """Checkpoint footprint of this layer's state, in bytes.
+
+        Matches the accounting of
+        :class:`repro.hardware.memory.QuantizedStateMemoryModel`: a float
+        cache is stored at FP16 (2 bytes per element); the quantized subclass
+        stores packed codes plus one PoT exponent byte per scale (see
+        :meth:`QuantizedLayerCache.resident_bytes`).
+        """
+        return float(self.num_elements()) * 2.0
 
 
 @dataclass
@@ -293,8 +334,20 @@ class QuantizedLayerCache(LayerCache):
             ssm_state=QuantizedSSMState.stack([c.ssm_state for c in caches]),
         )
 
+    def state_equal(self, other: "LayerCache") -> bool:
+        """Exact resident equality: codes + scales compared, not floats."""
+        if type(other) is not type(self):
+            return False
+        return np.array_equal(self.conv_state, other.conv_state) and self.ssm_state.exact_equal(
+            other.ssm_state
+        )
+
     def num_elements(self) -> int:
         return int(self.conv_state.size) + self.ssm_state.num_elements()
+
+    def resident_bytes(self) -> float:
+        """FP16 conv window plus the resident integer state's packed bytes."""
+        return float(self.conv_state.size) * 2.0 + self.ssm_state.num_bytes()
 
 
 @dataclass
@@ -355,9 +408,52 @@ class InferenceCache:
             ]
         )
 
+    # ------------------------------------------------------------------
+    # Supervisor snapshot / restore API
+    # ------------------------------------------------------------------
+    def snapshot_rows(self, indices) -> "InferenceCache":
+        """Checkpoint the state of rows ``indices`` (deep copy, all layers).
+
+        The serving supervisor's pre-iteration snapshot: for a quantized
+        cache this copies the resident integer codes + PoT scale exponents
+        directly (never dequantizing), so :meth:`restore_rows` followed by
+        :meth:`state_equal` round-trips bit-exactly.  Equivalent to
+        :meth:`gather`; the alias documents intent and pins the contract.
+        """
+        return self.gather(indices)
+
+    def restore_rows(self, indices, snapshot: "InferenceCache") -> None:
+        """Roll rows ``indices`` back to a :meth:`snapshot_rows` checkpoint."""
+        self.scatter(indices, snapshot)
+
+    def state_equal(self, other: "InferenceCache") -> bool:
+        """Exact state equality across all layers (see :meth:`LayerCache.state_equal`).
+
+        Quantized layers compare resident codes + scales, never dequantized
+        floats -- the bit-exact rollback check.
+        """
+        if len(other.layers) != len(self.layers):
+            return False
+        return all(
+            layer.state_equal(other_layer)
+            for layer, other_layer in zip(self.layers, other.layers)
+        )
+
     def num_elements(self) -> int:
         """Total scalars held by the model's recurrent state."""
         return sum(layer.num_elements() for layer in self.layers)
+
+    def resident_state_bytes(self) -> float:
+        """Checkpoint footprint in bytes, layer accounting per :meth:`LayerCache.resident_bytes`.
+
+        For a quantized cache this matches
+        :class:`repro.hardware.memory.QuantizedStateMemoryModel`'s
+        quantized-footprint terms for the recurrent state (packed codes, one
+        exponent byte per PoT scale, FP16 conv taps); for a float cache it is
+        the FP16 baseline.  The serving supervisor uses it to account
+        snapshot bytes in ``EngineStats``.
+        """
+        return sum(layer.resident_bytes() for layer in self.layers)
 
     def num_bytes(self, bytes_per_element: int = 2) -> int:
         """Cache footprint in bytes (default FP16 storage)."""

@@ -59,8 +59,9 @@ the accelerator's integer semantics.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Iterator, Optional, Tuple
 
 import numpy as np
 
@@ -174,6 +175,30 @@ class QuantizedSSMStep:
         self._qcfg = config.config()
         # (D array, D[:, None]) derived on first use (see _d_col).
         self._static_cache: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        # When set, prefill_scan ignores integer_chunk_body and runs the
+        # float fake-quant chunk body (see fallback_fake_quant).
+        self._fake_quant_fallback = False
+
+    @contextmanager
+    def fallback_fake_quant(self) -> Iterator["QuantizedSSMStep"]:
+        """Temporarily run the fake-quant chunk body instead of the MMU path.
+
+        The serving supervisor's graceful-degradation hook: inside the
+        context :meth:`QuantizedChunkedScan.prefill_scan` skips the
+        ``integer_chunk_body`` INT32 kernels (whose static overflow guard can
+        legitimately raise :class:`OverflowError`) and computes the same
+        contractions on the float fake-quant path -- the numerics every
+        integer run is verified against, so a degraded request is still
+        served on the model's reference grid.  Decode is unaffected (it never
+        uses the integer chunk body).  Re-entrant; restores the previous mode
+        on exit.
+        """
+        previous = self._fake_quant_fallback
+        self._fake_quant_fallback = True
+        try:
+            yield self
+        finally:
+            self._fake_quant_fallback = previous
 
     @property
     def state_resident(self) -> bool:
@@ -452,7 +477,7 @@ class QuantizedChunkedScan(QuantizedSSMStep):
 
         A, d_col = params.A, self._d_col(params)
         quantize_state = self.config.quantize_state
-        integer_body = self.config.integer_chunk_body
+        integer_body = self.config.integer_chunk_body and not self._fake_quant_fallback
 
         # Operand quantization at the SSMU interfaces.  Per-group grids are
         # computed along the trailing axis only, so quantizing the whole

@@ -21,6 +21,16 @@ This package provides the two serving front-ends built on that property:
   emits per-request :class:`~repro.serving.engine.RequestLatency` stats,
   supports ``cancel(request_id)``, and streams tokens through an ``on_token``
   callback.
+- :mod:`~repro.serving.resilience` -- the fault-injection / self-healing
+  layer: a deterministic :class:`~repro.serving.resilience.FaultInjector`
+  (seeded :class:`~repro.serving.resilience.FaultPlan` schedules addressable
+  by engine iteration, request, and call site) drives the engine's
+  supervisor, which snapshots integer-resident SSM state before each
+  supervised model call, isolates faulting requests, rolls survivors back
+  bit-exactly, retries with capped exponential backoff, degrades repeat
+  offenders to the sequential oracle, and quarantines hopeless requests with
+  ``finish_reason="error"``.  :mod:`~repro.serving.chaos` builds randomized
+  chaos-soak runs on top and checks the conservation invariants.
 
 Both front-ends reproduce the single-sequence decoders in
 :mod:`repro.mamba.generation` request for request: token selection shares the
@@ -48,6 +58,7 @@ Example
 ['length', 'length']
 """
 
+from repro.serving.chaos import ChaosReport, build_workload, run_chaos_soak, soak_once
 from repro.serving.engine import (
     Completion,
     EngineStats,
@@ -57,6 +68,17 @@ from repro.serving.engine import (
 )
 from repro.serving.generator import BatchedGenerator
 from repro.serving.queue import QueueEntry, RequestQueue
+from repro.serving.resilience import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    IterationTimeout,
+    ManualClock,
+    ResilienceConfig,
+    ResilienceEvent,
+    ResilienceLog,
+    StateCorruptionError,
+)
 from repro.serving.scheduler import (
     AdmissionPlan,
     FIFOScheduler,
@@ -71,10 +93,16 @@ from repro.serving.scheduler import (
 __all__ = [
     "AdmissionPlan",
     "BatchedGenerator",
+    "ChaosReport",
     "Completion",
     "EngineStats",
     "FIFOScheduler",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
     "InferenceEngine",
+    "IterationTimeout",
+    "ManualClock",
     "PagedScheduler",
     "PrefillView",
     "PriorityScheduler",
@@ -82,7 +110,14 @@ __all__ = [
     "Request",
     "RequestLatency",
     "RequestQueue",
+    "ResilienceConfig",
+    "ResilienceEvent",
+    "ResilienceLog",
     "Scheduler",
     "SchedulerContext",
+    "StateCorruptionError",
     "TokenLedger",
+    "build_workload",
+    "run_chaos_soak",
+    "soak_once",
 ]

@@ -50,10 +50,16 @@ Clock = Callable[[], float]
 class QueueEntry:
     """One waiting request plus its admission metadata.
 
-    ``prefill_pos`` is non-zero only for a request that was preempted
-    mid-prefill and re-queued: it records how many prompt tokens are already
-    consumed (the engine parks the partial state), so schedulers budget only
-    the *remaining* prompt work.
+    ``prefill_pos`` is non-zero only for a request that was preempted (or
+    fault-requeued by the supervisor) mid-prefill and re-queued: it records
+    how many prompt tokens are already consumed (the engine parks the partial
+    state), so schedulers budget only the *remaining* prompt work.
+
+    ``hold_until_step`` is the supervisor's exponential-backoff hold: a
+    faulted-and-requeued request stays invisible to the scheduler
+    (:meth:`RequestQueue.entries` filters it) until the engine reaches that
+    iteration, while remaining cancellable and expirable like any waiting
+    entry.  ``None`` (the default) means immediately schedulable.
     """
 
     request_id: int
@@ -63,6 +69,7 @@ class QueueEntry:
     arrival_time: float = 0.0
     arrival_seq: int = 0
     prefill_pos: int = 0
+    hold_until_step: Optional[int] = None
 
     @property
     def remaining_prompt_tokens(self) -> int:
@@ -131,12 +138,23 @@ class RequestQueue:
     # ------------------------------------------------------------------
     # Consumer side
     # ------------------------------------------------------------------
-    def entries(self) -> Tuple[QueueEntry, ...]:
-        """Snapshot of the waiting entries in FIFO (arrival) order."""
+    def entries(self, engine_step: Optional[int] = None) -> Tuple[QueueEntry, ...]:
+        """Snapshot of the waiting entries in FIFO (arrival) order.
+
+        ``engine_step`` (the engine's current iteration counter) filters out
+        entries whose ``hold_until_step`` lies in the future -- the
+        supervisor's retry-backoff hold.  ``None`` returns every entry
+        (cancellation, expiry and draining must see held entries too).
+        """
         with self._cond:
-            return tuple(
-                sorted(self._entries.values(), key=lambda e: e.arrival_seq)
-            )
+            values = self._entries.values()
+            if engine_step is not None:
+                values = [
+                    e
+                    for e in values
+                    if e.hold_until_step is None or e.hold_until_step <= engine_step
+                ]
+            return tuple(sorted(values, key=lambda e: e.arrival_seq))
 
     def pop(self, request_id: int) -> QueueEntry:
         """Remove and return one entry (admission)."""

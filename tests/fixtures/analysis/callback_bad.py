@@ -1,0 +1,35 @@
+"""Fixture: CB401 fires on every user-callback-under-lock shape.
+
+Parsed by the analyzer in tests; never imported or executed.
+"""
+
+import threading
+
+
+class BadStreamer:
+    """User callbacks invoked while engine locks are held."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._state = 0  # guarded-by: _lock
+        self.on_event = None
+
+    # user-callback: on_token
+    def step(self, on_token):
+        with self._lock:
+            self._state += 1
+            on_token(self._state)  # CB401: parameter callback under _lock
+
+    # user-callback: on_event
+    def fire(self):
+        with self._lock:
+            self.on_event(self._state)  # CB401: attribute callback under _lock
+
+    # user-callback: on_token
+    def step_held(self, on_token):  # lock-held: _lock
+        on_token(self._state)  # CB401: caller already holds _lock
+
+    # user-callback: on_token
+    def step_suppressed(self, on_token):
+        with self._lock:
+            on_token(self._state)  # repro-analysis: ignore[CB401]

@@ -1,0 +1,37 @@
+"""Fixture: user callbacks run outside every lock -- CB401 stays quiet.
+
+Parsed by the analyzer in tests; never imported or executed.
+"""
+
+import threading
+
+
+class GoodStreamer:
+    """User callbacks invoked only after the engine drops its locks."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._state = 0  # guarded-by: _lock
+
+    # user-callback: on_token
+    def step(self, on_token):
+        with self._lock:
+            self._state += 1
+            snapshot = self._state
+        on_token(snapshot)  # lock dropped before user code runs
+
+    # user-callback: on_token
+    def step_errors(self, on_token):
+        with self._lock:
+            self._state += 1
+            snapshot = self._state
+        try:
+            on_token(snapshot)
+        except Exception:
+            with self._lock:
+                self._state -= 1
+
+    def unrelated(self, on_token):
+        # Not a declared callback method; plain calls are not flagged.
+        with self._lock:
+            return self._state

@@ -94,6 +94,56 @@ def test_checker_rediscovers_unguarded_latency_pattern(tmp_path):
 
 
 # ----------------------------------------------------------------------
+# User-callback lock discipline (CB401)
+# ----------------------------------------------------------------------
+def test_callback_bad_fixture_fires_cb401_for_every_shape():
+    findings = analyze_paths([FIXTURES / "callback_bad.py"])
+    active = [f for f in findings if not f.suppressed]
+    assert [f.code for f in active] == ["CB401", "CB401", "CB401"]
+    assert {f.symbol for f in active} == {
+        "BadStreamer.step",
+        "BadStreamer.fire",
+        "BadStreamer.step_held",
+    }
+    step = next(f for f in active if f.symbol == "BadStreamer.step")
+    assert "on_token" in step.message and "_lock" in step.message
+
+    suppressed = [f for f in findings if f.suppressed]
+    assert [f.code for f in suppressed] == ["CB401"]
+    assert suppressed[0].symbol == "BadStreamer.step_suppressed"
+
+
+def test_callback_ok_fixture_is_quiet():
+    assert analyze_paths([FIXTURES / "callback_ok.py"]) == []
+
+
+def test_cb401_rediscovers_callback_under_submit_lock(tmp_path):
+    """The shape the rule exists for: streaming a token to user code while
+    the engine still holds its submit lock."""
+    source = textwrap.dedent(
+        """
+        import threading
+
+        class EngineLike:
+            def __init__(self):
+                self._submit_lock = threading.Lock()
+                self._latency = {}  # guarded-by: _submit_lock
+
+            # user-callback: on_token
+            def step(self, on_token):
+                with self._submit_lock:
+                    self._latency[0] = 1
+                    on_token(0)
+        """
+    )
+    path = tmp_path / "engine_like.py"
+    path.write_text(source, encoding="utf-8")
+    findings = analyze_paths([path])
+    assert [f.code for f in findings] == ["CB401"]
+    assert findings[0].symbol == "EngineLike.step"
+
+
+# ----------------------------------------------------------------------
 # Integer-path dtype flow (DT2xx)
 # ----------------------------------------------------------------------
 def test_dtype_bad_fixture_fires_every_dtype_rule():
