@@ -49,7 +49,7 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import List
+from typing import List, Tuple
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_FRESH_DIR = REPO_ROOT / "benchmarks" / "output" / "fresh"
@@ -58,6 +58,7 @@ CANONICAL = (
     "BENCH_quant_prefill.json",
     "BENCH_scheduler.json",
     "BENCH_int_decode.json",
+    "BENCH_serving_load.json",
 )
 
 #: Absolute slack applied when a committed metric is too small (or zero) for a
@@ -94,19 +95,28 @@ def metric_ceiling(committed_value: float, threshold: float) -> float:
     return committed_value + abs(committed_value) * threshold + ABSOLUTE_SLACK
 
 
-def compare_speedups(name: str, committed: dict, fresh: dict, threshold: float) -> List[str]:
-    """Higher-is-better speedup ratios at the x-keys both runs measured."""
+def compare_speedups(
+    name: str, committed: dict, fresh: dict, threshold: float
+) -> Tuple[List[str], int]:
+    """Higher-is-better speedup ratios at the x-keys both runs measured.
+
+    Returns the failure messages plus the number of metric points actually
+    compared, so :func:`check_pair` can reject a comparison that silently
+    matched nothing.
+    """
     section = (
         "smoke_speedup"
         if "smoke_speedup" in committed and "smoke_speedup" in fresh
         else "speedup"
     )
     failures = []
+    compared = 0
     for metric, committed_points in committed.get(section, {}).items():
         fresh_points = fresh.get(section, {}).get(metric, {})
         for key, committed_value in committed_points.items():
             if key not in fresh_points:
                 continue
+            compared += 1
             floor = speedup_floor(committed_value, threshold)
             if fresh_points[key] < floor:
                 failures.append(
@@ -114,14 +124,18 @@ def compare_speedups(name: str, committed: dict, fresh: dict, threshold: float) 
                     f"{fresh_points[key]:.3f} < {floor:.3f} "
                     f"(committed {committed_value:.3f}, threshold {threshold:.0%})"
                 )
-    return failures
+    return failures, compared
 
 
 def compare_scheduler_metrics(
     name: str, committed: dict, fresh: dict, threshold: float
-) -> List[str]:
-    """Lower-is-better deterministic scheduler metrics, per shared mode/policy."""
+) -> Tuple[List[str], int]:
+    """Lower-is-better deterministic scheduler metrics, per shared mode/policy.
+
+    Returns the failure messages plus the number of metric points compared.
+    """
     failures = []
+    compared = 0
     for mode, committed_mode in committed.get("modes", {}).items():
         fresh_mode = fresh.get("modes", {}).get(mode)
         if fresh_mode is None:
@@ -133,6 +147,7 @@ def compare_scheduler_metrics(
             for metric, committed_value in committed_entry.get("metrics", {}).items():
                 if metric not in fresh_metrics:
                     continue
+                compared += 1
                 ceiling = metric_ceiling(committed_value, threshold)
                 if fresh_metrics[metric] > ceiling:
                     failures.append(
@@ -140,7 +155,7 @@ def compare_scheduler_metrics(
                         f"{fresh_metrics[metric]:.3f} > {ceiling:.3f} "
                         f"(committed {committed_value:.3f}, threshold {threshold:.0%})"
                     )
-    return failures
+    return failures, compared
 
 
 def check_pair(committed_path: Path, fresh_path: Path, threshold: float) -> List[str]:
@@ -150,8 +165,21 @@ def check_pair(committed_path: Path, fresh_path: Path, threshold: float) -> List
         return [f"missing fresh benchmark record: {fresh_path} (did the smoke step run?)"]
     committed = json.loads(committed_path.read_text())
     fresh = json.loads(fresh_path.read_text())
-    failures = compare_speedups(committed_path.name, committed, fresh, threshold)
-    failures += compare_scheduler_metrics(committed_path.name, committed, fresh, threshold)
+    failures, compared = compare_speedups(
+        committed_path.name, committed, fresh, threshold
+    )
+    metric_failures, metric_compared = compare_scheduler_metrics(
+        committed_path.name, committed, fresh, threshold
+    )
+    failures += metric_failures
+    compared += metric_compared
+    if compared == 0 and not failures:
+        # Both records exist but share no comparable points: a renamed mode,
+        # policy or metric would otherwise disarm the gate silently.
+        failures.append(
+            f"{committed_path.name}: zero metric points compared -- the fresh "
+            f"record's shape no longer overlaps the committed baseline"
+        )
     return failures
 
 
@@ -175,11 +203,22 @@ def main(argv=None) -> int:
         default=REPO_ROOT,
         help="directory holding the committed BENCH_*.json baselines",
     )
+    parser.add_argument(
+        "--only",
+        action="append",
+        choices=CANONICAL,
+        metavar="BENCH_NAME.json",
+        help=(
+            "check only this canonical record (repeatable); lets CI jobs that "
+            "produce a subset of the fresh records gate just their own"
+        ),
+    )
     args = parser.parse_args(argv)
 
+    names = tuple(args.only) if args.only else CANONICAL
     failures: List[str] = []
     compared = 0
-    for name in CANONICAL:
+    for name in names:
         pair_failures = check_pair(
             args.baseline_dir / name, args.fresh_dir / name, args.threshold
         )

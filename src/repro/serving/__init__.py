@@ -21,6 +21,15 @@ This package provides the two serving front-ends built on that property:
   emits per-request :class:`~repro.serving.engine.RequestLatency` stats,
   supports ``cancel(request_id)``, and streams tokens through an ``on_token``
   callback.
+- :class:`~repro.serving.server.MambaServer` -- an asyncio HTTP + SSE wire
+  front-end over the engine (stdlib streams only): ``POST /v1/generate``
+  streams tokens as Server-Sent Events, client disconnects become
+  ``cancel``, ``X-Priority`` / ``X-Deadline-S`` headers map onto the queue,
+  ``/healthz`` + ``/stats`` expose the counters, and shutdown drains
+  in-flight requests exactly-once.  :mod:`~repro.serving.loadgen` is its
+  seeded traffic harness: Poisson/bursty arrivals, heavy-tailed lengths,
+  priority mixes, deadlines and mid-stream disconnects, driven either
+  in-process or over real sockets (see ``benchmarks/bench_serving_load.py``).
 - :mod:`~repro.serving.resilience` -- the fault-injection / self-healing
   layer: a deterministic :class:`~repro.serving.resilience.FaultInjector`
   (seeded :class:`~repro.serving.resilience.FaultPlan` schedules addressable
@@ -67,6 +76,16 @@ from repro.serving.engine import (
     RequestLatency,
 )
 from repro.serving.generator import BatchedGenerator
+from repro.serving.loadgen import (
+    HarnessResult,
+    LoadItem,
+    RequestRecord,
+    TrafficShape,
+    make_traffic,
+    run_inprocess,
+    run_live,
+    verify_against_solo,
+)
 from repro.serving.queue import QueueEntry, RequestQueue
 from repro.serving.resilience import (
     FaultInjector,
@@ -89,6 +108,7 @@ from repro.serving.scheduler import (
     SchedulerContext,
     TokenLedger,
 )
+from repro.serving.server import MambaServer, ServerConfig, serve_in_thread
 
 __all__ = [
     "AdmissionPlan",
@@ -100,8 +120,11 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "FaultSpec",
+    "HarnessResult",
     "InferenceEngine",
     "IterationTimeout",
+    "LoadItem",
+    "MambaServer",
     "ManualClock",
     "PagedScheduler",
     "PrefillView",
@@ -110,14 +133,22 @@ __all__ = [
     "Request",
     "RequestLatency",
     "RequestQueue",
+    "RequestRecord",
     "ResilienceConfig",
     "ResilienceEvent",
     "ResilienceLog",
     "Scheduler",
     "SchedulerContext",
+    "ServerConfig",
     "StateCorruptionError",
     "TokenLedger",
+    "TrafficShape",
     "build_workload",
+    "make_traffic",
     "run_chaos_soak",
+    "run_inprocess",
+    "run_live",
+    "serve_in_thread",
     "soak_once",
+    "verify_against_solo",
 ]

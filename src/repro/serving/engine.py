@@ -564,6 +564,14 @@ class InferenceEngine:
         return len(finished)
 
     @property
+    def num_latency_records(self) -> int:
+        """Latency records currently held (finished ones sweep via
+        :meth:`clear_finished_latencies`; the serving front-end exposes this
+        so record leaks are observable from ``/stats``)."""
+        with self._submit_lock:
+            return len(self._latency)
+
+    @property
     def num_waiting(self) -> int:
         return len(self.queue)
 

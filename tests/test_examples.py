@@ -50,6 +50,16 @@ def test_serving_demo_runs(capsys):
     assert "tokens per decode call" in out
 
 
+def test_server_demo_runs(capsys):
+    _run("server_demo.py", [])
+    out = capsys.readouterr().out
+    assert "server listening on http://" in out
+    assert "matches single-sequence decode" in out
+    assert "MISMATCH" not in out
+    assert "observed as cancel" in out
+    assert "all requests bit-identical" in out
+
+
 @pytest.mark.slow
 def test_quantization_study_fast_mode(capsys):
     _run("quantization_study.py", ["--fast"])

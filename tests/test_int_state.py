@@ -613,7 +613,9 @@ class TestRegressionGateZeroMetrics:
         gate = _load_check_regression()
         committed = {"speedup": {"decode": {"1": 0.0}}}
         fresh = {"speedup": {"decode": {"1": 0.0}}}
-        assert gate.compare_speedups("x.json", committed, fresh, 0.30) == []
+        failures, compared = gate.compare_speedups("x.json", committed, fresh, 0.30)
+        assert failures == []
+        assert compared == 1
 
     def test_zero_committed_metric_cannot_fail_a_clean_run(self):
         gate = _load_check_regression()
@@ -624,9 +626,32 @@ class TestRegressionGateZeroMetrics:
         fresh = {
             "modes": {"smoke": {"policies": {"paged": {"metrics": {stall: 0.0}}}}}
         }
-        assert gate.compare_scheduler_metrics("x.json", committed, fresh, 0.30) == []
+        failures, compared = gate.compare_scheduler_metrics(
+            "x.json", committed, fresh, 0.30
+        )
+        assert failures == []
+        assert compared == 1
         # A genuine regression past the absolute slack still fails.
         bad = {
             "modes": {"smoke": {"policies": {"paged": {"metrics": {stall: 5.0}}}}}
         }
-        assert gate.compare_scheduler_metrics("x.json", committed, bad, 0.30)
+        failures, _ = gate.compare_scheduler_metrics("x.json", committed, bad, 0.30)
+        assert failures
+
+    def test_zero_compared_points_fails_loudly(self, tmp_path):
+        gate = _load_check_regression()
+        committed = tmp_path / "BENCH_x.json"
+        fresh = tmp_path / "fresh.json"
+        committed.write_text(
+            '{"modes": {"smoke": {"policies": {"fifo": {"metrics": {"a": 1.0}}}}}}'
+        )
+        # Same file name exists on both sides but the mode was renamed away:
+        # the pair must fail instead of silently disarming the gate.
+        fresh.write_text(
+            '{"modes": {"smoke2": {"policies": {"fifo": {"metrics": {"a": 1.0}}}}}}'
+        )
+        failures = gate.check_pair(committed, fresh, 0.30)
+        assert any("zero metric points" in f for f in failures)
+        # A shape that does overlap compares cleanly.
+        fresh.write_text(committed.read_text())
+        assert gate.check_pair(committed, fresh, 0.30) == []
