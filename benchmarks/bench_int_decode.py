@@ -1,14 +1,20 @@
-"""Persistent integer-state decode throughput vs fake-quant decode.
+"""All-integer decode iteration throughput vs fake-quant decode.
 
-The quantized decode path used to round-trip the recurrent state ``h``
-through fake-quant floats on every token: quantize the incoming float state,
-compute, quantize the outgoing state, store floats.  The persistent-state
-mode (``SSMQuantConfig.persistent_state=True``) keeps ``h`` resident as INT
-codes + PoT scales between steps -- the FPGA's on-chip state buffer execution
-model -- so step entry is a cheap ``codes * scales`` dequantize instead of a
-full re-quantization pass over the largest tensor in the step.  Outputs are
-bit-identical (on-grid PoT re-quantization is idempotent; pinned by
-``tests/test_int_state.py``), so the entire difference is decode speed.
+The quantized decode path used to round-trip every per-token tensor through
+fake-quant floats: quantize the incoming float state, compute in float,
+quantize the outgoing state, store floats.  The persistent-state mode
+(``SSMQuantConfig.persistent_state=True``) now runs the *all-integer*
+iteration: the recurrent state ``h`` stays resident as INT codes + PoT shift
+exponents between steps (the FPGA's on-chip state buffer execution model),
+and every per-token requantization -- the ``delta (*) B`` and ``D (*) x``
+scalar folds and the product regrids between them -- is a
+``shift_requantize`` on resident codes instead of a dequantize / absmax /
+round pass over float tensors.  No float tensor is materialized between
+in-projection and readout (enforced by the ``repro.analysis`` DT20x lint and
+its sanction-budget ratchet).  Outputs are bit-identical to the fake-quant
+oracle under PoT scaling (scaling commutes with rounding for power-of-two
+grids; pinned by ``tests/test_int_state.py``), so the entire difference
+between the two series is decode speed.
 
 This benchmark measures pure decode tokens/sec (prefill excluded: the prompt
 is summarised once untimed, then a fresh copy of the cache is advanced

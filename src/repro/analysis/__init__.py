@@ -27,7 +27,9 @@ from repro.analysis.core import (
     analyze_paths,
     analyze_repo,
     repo_root,
+    sanction_budget_finding,
 )
+from repro.analysis.dtypeflow import count_quant_points
 from repro.analysis.overflow import (
     ContractionSpec,
     default_registry,
@@ -44,8 +46,10 @@ __all__ = [
     "SourceModule",
     "analyze_paths",
     "analyze_repo",
+    "count_quant_points",
     "default_registry",
     "prove",
     "prove_default_registry",
     "repo_root",
+    "sanction_budget_finding",
 ]

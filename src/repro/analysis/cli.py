@@ -28,6 +28,7 @@ from repro.analysis.core import (
     Finding,
     analyze_repo,
     repo_root,
+    sanction_budget_finding,
 )
 
 __all__ = ["main"]
@@ -100,6 +101,11 @@ def _render_text(
                 f"({margin['headroom_bits']:+.2f} bits) [{verdict}]"
             )
     lines.append("")
+    if report.sanction_count is not None:
+        lines.append(
+            f"quant-point sanctions in integer-resident regions: "
+            f"{report.sanction_count}"
+        )
     lines.append(
         f"{len(active)} finding(s), {len(suppressed)} inline-suppressed, "
         f"{len(baselined)} baselined"
@@ -122,6 +128,7 @@ def _render_json(
             "active": len(active),
             "suppressed": len(suppressed),
             "baselined": len(baselined),
+            "sanction_count": report.sanction_count,
         },
     }
     return json.dumps(payload, indent=2) + "\n"
@@ -154,9 +161,21 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.write_baseline:
         target = args.baseline or (root / "analysis-baseline.json")
-        Baseline.write(target, active)
-        print(f"wrote {len(active)} finding(s) to {target}")
+        Baseline.write(target, active, sanction_budget=report.sanction_count)
+        print(
+            f"wrote {len(active)} finding(s) to {target} "
+            f"(sanction budget {report.sanction_count})"
+        )
         return 0
+
+    # The DT204 ratchet compares the live sanction count against the
+    # committed budget; it is recomputed every run rather than matched by
+    # fingerprint, so it can never be baselined away.
+    gate = sanction_budget_finding(
+        report.sanction_count, baseline.sanction_budget if baseline else None
+    )
+    if gate is not None:
+        active.append(gate)
 
     render = _render_json if args.format == "json" else _render_text
     output = render(report, active, suppressed, baselined)

@@ -38,6 +38,7 @@ __all__ = [
     "analyze_paths",
     "analyze_repo",
     "repo_root",
+    "sanction_budget_finding",
 ]
 
 #: Every diagnostic code the rule families can emit, with a one-line summary.
@@ -52,6 +53,7 @@ CODES: Dict[str, str] = {
     "DT201": "float64 cast/materialization in an integer-resident region",
     "DT202": "float-dtype array allocation in an integer-resident region",
     "DT203": "fake-quant round-trip in an integer-resident region",
+    "DT204": "quant-point sanction count exceeds the committed budget (ratchet)",
     "OV301": "provable integer-accumulator overflow for a registered config",
 }
 
@@ -204,10 +206,18 @@ class SourceModule:
 
 @dataclass
 class Baseline:
-    """The committed set of accepted findings, matched by fingerprint."""
+    """The committed set of accepted findings, matched by fingerprint.
+
+    ``sanction_budget`` is the committed count of ``# quant-point:`` sanction
+    lines inside ``# integer-resident`` regions -- the DT204 ratchet.  A run
+    whose live count exceeds it fails; regenerating the baseline records the
+    (lower) current count.  ``None`` (absent from the file) disables the
+    ratchet, so older baselines keep loading.
+    """
 
     fingerprints: frozenset = frozenset()
     path: Optional[Path] = None
+    sanction_budget: Optional[int] = None
 
     @classmethod
     def load(cls, path: Path) -> "Baseline":
@@ -224,10 +234,19 @@ class Baseline:
             )
             for entry in entries
         )
-        return cls(fingerprints=prints, path=path)
+        budget = data.get("sanction_budget")
+        return cls(
+            fingerprints=prints,
+            path=path,
+            sanction_budget=None if budget is None else int(budget),
+        )
 
     @staticmethod
-    def write(path: Path, findings: Sequence[Finding]) -> None:
+    def write(
+        path: Path,
+        findings: Sequence[Finding],
+        sanction_budget: Optional[int] = None,
+    ) -> None:
         entries = [
             {
                 "path": f.path,
@@ -237,7 +256,9 @@ class Baseline:
             }
             for f in sorted(findings, key=lambda f: (f.path, f.code, f.line))
         ]
-        payload = {"version": 1, "findings": entries}
+        payload: Dict[str, object] = {"version": 1, "findings": entries}
+        if sanction_budget is not None:
+            payload["sanction_budget"] = int(sanction_budget)
         path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
 
     def contains(self, finding: Finding) -> bool:
@@ -252,11 +273,15 @@ class AnalysisReport:
     applied from inline comments; :meth:`partition` additionally splits on the
     baseline.  ``margins`` is the overflow prover's per-contraction headroom
     table (also emitted when every contraction is safe -- the proof is the
-    point, not just the failures).
+    point, not just the failures).  ``sanction_count`` is the live number of
+    ``# quant-point:`` sanction lines inside ``# integer-resident`` regions
+    (``None`` when the run did not count them), compared against the
+    baseline's ``sanction_budget`` by :func:`sanction_budget_finding`.
     """
 
     findings: List[Finding] = field(default_factory=list)
     margins: List[Dict[str, object]] = field(default_factory=list)
+    sanction_count: Optional[int] = None
 
     def partition(
         self, baseline: Optional[Baseline] = None
@@ -273,6 +298,34 @@ class AnalysisReport:
             else:
                 active.append(finding)
         return active, suppressed, baselined
+
+
+def sanction_budget_finding(
+    count: Optional[int], budget: Optional[int]
+) -> Optional[Finding]:
+    """The DT204 ratchet: fail when the live sanction count grew past budget.
+
+    The integer-resident decode path may only get *shorter*: every
+    ``# quant-point:`` sanction is a float materialization still waiting to
+    be folded onto resident codes, so the committed budget is a one-way
+    ratchet.  Returns ``None`` when the count is within budget or either
+    side is unknown (no counting ran, or the baseline predates the ratchet).
+    """
+    if count is None or budget is None or count <= budget:
+        return None
+    return Finding(
+        code="DT204",
+        message=(
+            f"quant-point sanction count {count} exceeds the committed budget "
+            f"{budget}; the integer-resident path may only ratchet shorter -- "
+            "fold the new float materialization onto resident codes instead "
+            "of sanctioning it"
+        ),
+        path="repro.analysis.dtypeflow",
+        line=0,
+        symbol="sanction-budget",
+        line_text=f"sanctions={count} budget={budget}",
+    )
 
 
 def repo_root() -> Path:
@@ -313,6 +366,7 @@ def analyze_repo(
     include_overflow: bool = True,
 ) -> AnalysisReport:
     """Analyze the repository: AST rules plus the static overflow prover."""
+    from repro.analysis.dtypeflow import count_quant_points
     from repro.analysis.overflow import prove_default_registry
 
     if root is None:
@@ -320,6 +374,10 @@ def analyze_repo(
     if paths is None:
         paths = [root / "src" / "repro"]
     report = AnalysisReport(findings=analyze_paths(paths, root=root))
+    report.sanction_count = sum(
+        count_quant_points(SourceModule.parse(file_path, root=root))
+        for file_path in iter_python_files([Path(p) for p in paths])
+    )
     if include_overflow:
         overflow_findings, margins = prove_default_registry()
         report.findings.extend(overflow_findings)

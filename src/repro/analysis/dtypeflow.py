@@ -46,7 +46,7 @@ from typing import List, Optional
 
 from repro.analysis.core import Finding, SourceModule
 
-__all__ = ["check_dtype_flow"]
+__all__ = ["check_dtype_flow", "count_quant_points"]
 
 _REGION_RE = re.compile(r"integer-resident")
 _QUANT_POINT_RE = re.compile(r"quant-point:")
@@ -215,3 +215,27 @@ def _contains(outer: ast.AST, inner: ast.AST) -> bool:
         if node is inner:
             return True
     return False
+
+
+def count_quant_points(module: SourceModule) -> int:
+    """Count the ``# quant-point:`` sanction lines inside registered regions.
+
+    The size of the sanctioned float surface of the integer-resident code:
+    each marker line (inline or standalone) within an ``# integer-resident``
+    function's extent counts once, deduplicated across overlapping regions
+    (a nested registered function shares its enclosing region's lines).
+    This number is the subject of the DT204 ratchet -- the committed
+    ``sanction_budget`` may only shrink, so every refactor of the integer
+    path must fold float materializations onto resident codes rather than
+    add new sanctioned ones.
+    """
+    marker_lines: set = set()
+    for _qualname, func in _walk_functions(module.tree):
+        if module.marker(_REGION_RE, func.lineno) is None:
+            continue
+        start = func.lineno
+        end = getattr(func, "end_lineno", start) or start
+        for line in range(start, end + 1):
+            if _QUANT_POINT_RE.search(module.comment(line)):
+                marker_lines.add(line)
+    return len(marker_lines)

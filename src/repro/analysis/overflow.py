@@ -131,7 +131,11 @@ def _ssm_specs() -> List[ContractionSpec]:
     interaction matrix and the carried-state ``h . C`` readout) accumulate at
     most one quantization group per partial sum; ``group_len = group_size``
     is the conservative bound (the runtime clamps to ``min(group, d_state)``,
-    which is never larger).  The group sizes are the committed ones: the
+    which is never larger).  The ``integer_full_chunk`` extension adds the
+    two remaining intra-chunk matmuls -- ``gate @ x`` and the state hand-off
+    ``wx^T @ B`` -- which contract over the *token* axis; their runtime group
+    is ``min(group_size, q_len)``, so ``group_len = group_size`` is again the
+    worst case.  The group sizes are the committed ones: the
     :class:`SSMQuantConfig` default (32) and the variants the tests and
     benchmarks pin (8, 128).
     """
@@ -143,7 +147,12 @@ def _ssm_specs() -> List[ContractionSpec]:
         config = SSMQuantConfig(
             group_size=group, integer_chunk_body=True, persistent_state=True
         )
-        for contraction in ("CB^T interaction", "h.C readout"):
+        for contraction, group_len in (
+            ("CB^T interaction", min(group, _max_d_state())),
+            ("h.C readout", min(group, _max_d_state())),
+            ("gate@x intra-chunk", group),
+            ("state hand-off", group),
+        ):
             specs.append(
                 ContractionSpec(
                     name=(
@@ -153,7 +162,7 @@ def _ssm_specs() -> List[ContractionSpec]:
                     origin="ssm-chunk-body",
                     x_bits=config.bits,
                     w_bits=config.bits,
-                    group_len=min(group, _max_d_state()),
+                    group_len=group_len,
                     acc_bits=32,
                 )
             )

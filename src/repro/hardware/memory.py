@@ -140,17 +140,28 @@ class StateFootprint:
     ``ssm_state_bytes`` holds the state values themselves -- packed INT codes
     for a quantized footprint, FP16 floats for the baseline; the scales (the
     quantized representation's per-group exponents) are accounted separately
-    in ``ssm_scale_bytes`` (zero for the baseline).
+    in ``ssm_scale_bytes`` (zero for the baseline).  ``operand_bytes`` is the
+    all-integer decode iteration's working set: the per-token ``x`` / ``B`` /
+    ``C`` and folded ``delta B`` operand codes (plus their shift exponents)
+    that stay resident alongside the state codes between in-projection and
+    readout instead of round-tripping through float buffers.  It is zero for
+    the FP16 baseline and for quantized footprints sized without operands.
     """
 
     ssm_state_bytes: float
     ssm_scale_bytes: float
     conv_bytes: float
     allocations: tuple
+    operand_bytes: float = 0.0
 
     @property
     def total_bytes(self) -> float:
-        return self.ssm_state_bytes + self.ssm_scale_bytes + self.conv_bytes
+        return (
+            self.ssm_state_bytes
+            + self.ssm_scale_bytes
+            + self.conv_bytes
+            + self.operand_bytes
+        )
 
     @property
     def uram(self) -> int:
@@ -217,22 +228,70 @@ class QuantizedStateMemoryModel:
         conv_elems = batch_size * config.conv_dim * config.d_conv
         return {"state": state_elems, "scales": scale_elems, "conv": conv_elems}
 
+    def _operand_counts(self, config: "Mamba2Config", batch_size: int) -> Dict[str, float]:
+        """Per-layer element counts of the decode-resident operand codes.
+
+        One all-integer decode iteration keeps four operand tensors on codes
+        between in-projection and readout: the per-token ``x``
+        (``nheads * headdim``), ``B`` and ``C`` (``d_state`` each), and the
+        scalar-folded ``delta B`` (``nheads * d_state``).  Each carries one
+        shift exponent per quantization group along its grouped axis
+        (``headdim`` for ``x``, ``d_state`` for the rest).
+        """
+        group_n = min(self.group_size, config.d_state)
+        n_groups = -(-config.d_state // group_n)
+        group_p = min(self.group_size, config.headdim)
+        p_groups = -(-config.headdim // group_p)
+        code_elems = batch_size * (
+            config.nheads * config.headdim  # x
+            + 2 * config.d_state  # B, C
+            + config.nheads * config.d_state  # delta B, folded per head
+        )
+        scale_elems = batch_size * (
+            config.nheads * p_groups  # x exponents
+            + 2 * n_groups  # B, C exponents
+            + config.nheads * n_groups  # delta B exponents
+        )
+        return {"codes": code_elems, "scales": scale_elems}
+
     # ------------------------------------------------------------------
     # Footprints
     # ------------------------------------------------------------------
     def quantized_footprint(
-        self, config: "Mamba2Config", batch_size: int = 1
+        self,
+        config: "Mamba2Config",
+        batch_size: int = 1,
+        include_operands: bool = False,
     ) -> StateFootprint:
-        """Footprint of the integer-resident state (codes + PoT exponents)."""
+        """Footprint of the integer-resident state (codes + PoT exponents).
+
+        With ``include_operands=True`` the footprint also counts the
+        all-integer decode iteration's operand working set -- the per-token
+        ``x`` / ``B`` / ``C`` / ``delta B`` codes and their shift exponents
+        that stay resident alongside the state codes (one ``ssm_operands``
+        buffer per layer) -- matching what the SSMU keeps on-chip when no
+        float tensor is materialized between in-projection and readout.
+        """
         counts = self._per_layer_counts(config, batch_size)
         code_bytes = counts["state"] * self.state_bits / 8.0
         scale_bytes = counts["scales"] * self.scale_bytes
         conv_bytes = counts["conv"] * self.conv_bytes_per_element
+        operand_bytes = 0.0
+        if include_operands:
+            operands = self._operand_counts(config, batch_size)
+            operand_bytes = (
+                operands["codes"] * self.state_bits / 8.0
+                + operands["scales"] * self.scale_bytes
+            )
         allocations = []
         for layer in range(config.n_layer):
             allocations.append(
                 self.buffer_model.allocate(f"ssm_state_codes[{layer}]", code_bytes + scale_bytes)
             )
+            if include_operands:
+                allocations.append(
+                    self.buffer_model.allocate(f"ssm_operands[{layer}]", operand_bytes)
+                )
             allocations.append(
                 self.buffer_model.allocate(f"conv_window[{layer}]", conv_bytes)
             )
@@ -241,6 +300,7 @@ class QuantizedStateMemoryModel:
             ssm_scale_bytes=scale_bytes * config.n_layer,
             conv_bytes=conv_bytes * config.n_layer,
             allocations=tuple(allocations),
+            operand_bytes=operand_bytes * config.n_layer,
         )
 
     def fp16_footprint(self, config: "Mamba2Config", batch_size: int = 1) -> StateFootprint:

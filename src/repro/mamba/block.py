@@ -323,13 +323,21 @@ class MambaBlock:
             # by token; a batch-capable implementation advances all rows in
             # one call per token, otherwise fall back to per-row stepping.
             lead = u.shape[:1] if batched else ()
+            resident_loop = False
             if cache is None:
                 state = np.zeros(lead + (cfg.nheads, cfg.headdim, cfg.d_state))
             elif isinstance(cache.ssm_state, QuantizedSSMState):
-                # An integer-resident cache driven through the per-token
-                # oracle: loop on the float view (bit-identical under PoT --
-                # the codes are on-grid) and re-quantize at the store below.
-                state = cache.ssm_state.dequantize()
+                if batched and not getattr(self.ssm_impl, "supports_batched", False):
+                    # The per-row fallback below indexes individual state
+                    # rows; drive it on the float view (bit-identical under
+                    # PoT -- the codes are on-grid) and re-quantize at the
+                    # store below.
+                    state = cache.ssm_state.dequantize()
+                else:
+                    # Codes in, codes out: the resident container threads
+                    # through the step itself, no dequantize round trip.
+                    state = cache.ssm_state
+                    resident_loop = True
             else:
                 state = cache.ssm_state.copy()
             y_heads = np.zeros_like(x_heads)
@@ -341,14 +349,20 @@ class MambaBlock:
                         )
                     final_state = state
                 else:
-                    final_state = np.zeros_like(state)
+                    # Every row's true length is >= 1, so each final row is
+                    # overwritten by its snapshot before it is ever read.
+                    final_state = state.copy() if resident_loop else np.zeros_like(state)
                     for t in range(seq_len):
                         y_heads[:, t], state = self.ssm_impl(
                             self.ssm, x_heads[:, t], b[:, t], c[:, t], dt[:, t], state
                         )
                         ending = seq_lens == t + 1
                         if ending.any():
-                            final_state[ending] = state[ending]
+                            if resident_loop:
+                                rows = np.nonzero(ending)[0]
+                                final_state.scatter(rows, state.gather(rows))
+                            else:
+                                final_state[ending] = state[ending]
             elif batched:
                 for i in range(u.shape[0]):
                     stop = seq_len if seq_lens is None else int(seq_lens[i])

@@ -42,7 +42,13 @@ from repro.quant.hadamard import (
     random_hadamard_matrix,
     randomized_hadamard,
 )
-from repro.quant.pot import pot_quantize_scale, pot_quantize_dequantize, shift_requantize
+from repro.quant.pot import (
+    pot_quantize_scale,
+    pot_quantize_dequantize,
+    pot_exponent,
+    absmax_requant_exponents,
+    shift_requantize,
+)
 from repro.quant.rotation import RotationConfig, RotatedModel, rotate_model, OnlineHadamard
 from repro.quant.ssm_quant import SSMQuantConfig, QuantizedSSMStep, QuantizedChunkedScan
 from repro.quant.qlinear import QuantizedLinear, grouped_integer_matmul
@@ -80,6 +86,8 @@ __all__ = [
     "randomized_hadamard",
     "pot_quantize_scale",
     "pot_quantize_dequantize",
+    "pot_exponent",
+    "absmax_requant_exponents",
     "shift_requantize",
     "RotationConfig",
     "RotatedModel",

@@ -22,6 +22,8 @@ __all__ = [
     "pot_quantize_scale",
     "pot_quantizer_config",
     "pot_quantize_dequantize",
+    "pot_exponent",
+    "absmax_requant_exponents",
     "shift_requantize",
     "requantize_reference",
 ]
@@ -81,6 +83,46 @@ def pot_quantize_dequantize(
     )
 
 
+def pot_exponent(scales: np.ndarray | float) -> np.ndarray:
+    """Exact integer exponents of power-of-two scales (``scales == 2.0**e``).
+
+    The integer-resident decode path threads these exponents instead of the
+    float scales themselves: with every scale a power of two, the exponent is
+    the complete description of the grid, and re-quantization between grids is
+    a shift by the exponent difference (:func:`shift_requantize`).  Extraction
+    via ``frexp`` is exact for every representable power of two -- no ``log2``
+    rounding is involved.
+    """
+    scales = np.asarray(scales, dtype=np.float64)
+    mantissa, exponent = np.frexp(scales)
+    if not np.all(mantissa == 0.5):
+        raise ValueError("scales must be positive powers of two")
+    return (exponent - 1).astype(np.int64)
+
+
+def absmax_requant_exponents(absmax: np.ndarray, bits: int = 8) -> np.ndarray:
+    """Destination PoT exponents for values bounded by ``absmax`` per group.
+
+    Replicates, operation for operation, the scale derivation of
+    :func:`repro.quant.quantizer.compute_scales` followed by the ``'ceil'``
+    PoT snap (``max(absmax, eps) / qmax`` then ``ceil(log2(max(., eps)))``
+    with the shared ``1e-12`` floor) -- but returns the integer exponent
+    instead of the float scale.  Because the float operations are identical,
+    a shift onto ``2**e`` lands codes on exactly the grid the fake-quant
+    oracle would have chosen, which is what makes the shift-requantized
+    decode step bit-identical to the oracle.
+
+    ``absmax`` is the per-group maximum magnitude as a *float* (for integer
+    codes at a known exponent, ``ldexp(int_absmax, src_exponent)`` -- exact,
+    powers of two only rescale the mantissa's exponent field).
+    """
+    qmax = float(IntSpec(bits).qmax)
+    absmax = np.asarray(absmax, dtype=np.float64)
+    scales = np.maximum(absmax, _MIN_SCALE) / qmax
+    exponent = np.ceil(np.log2(np.maximum(scales, _MIN_SCALE)))
+    return exponent.astype(np.int64)
+
+
 def requantize_reference(
     values: np.ndarray, src_scale: float, dst_scale: float, bits: int = 8
 ) -> np.ndarray:
@@ -102,28 +144,70 @@ def requantize_reference(
 
 
 def shift_requantize(
-    values: np.ndarray, src_exponent: int, dst_exponent: int, bits: int = 8
+    values: np.ndarray,
+    src_exponent: int | np.ndarray,
+    dst_exponent: int | np.ndarray,
+    bits: int = 8,
+    rounding: str = "half_away",
 ) -> np.ndarray:
     """Re-quantize integer codes between power-of-two scales using shifts only.
 
     ``values`` hold integers at scale ``2**src_exponent``; the result holds
     the same quantities at scale ``2**dst_exponent``.  A scale *increase*
-    (``dst > src``) becomes an arithmetic right shift with round-half-up,
-    a scale decrease becomes a left shift.  This is the hardware-friendly
-    operation the paper's PoT scheme enables -- bit-exact with
-    :func:`requantize_reference` for power-of-two scales.
+    (``dst > src``) becomes an arithmetic right shift with rounding, a scale
+    decrease becomes a left shift.  This is the hardware-friendly operation
+    the paper's PoT scheme enables.
+
+    The exponents may be scalars or integer arrays broadcasting against
+    ``values`` (per-group grids: one exponent per quantization group), which
+    is how the integer-resident decode step applies a whole tensor's worth of
+    per-group re-quantizations in one call.
+
+    ``rounding`` selects the tie-breaking rule of the right shift:
+
+    - ``"half_away"`` -- round half away from zero; bit-exact with
+      :func:`requantize_reference` (the shift-vs-multiplier equivalence
+      demonstration).
+    - ``"half_even"`` -- round half to even, bit-exact with ``np.round`` on
+      the real-valued ratio; this is the mode the integer decode path uses so
+      shifted codes land exactly where the fake-quant oracle's ``np.round``
+      would put them.
     """
     spec = IntSpec(bits)
     values = np.asarray(values, dtype=np.int64)
-    diff = dst_exponent - src_exponent
-    if diff == 0:
-        shifted = values
-    elif diff > 0:
-        # Right shift by `diff` with rounding to nearest (half away from zero),
-        # implemented with adds and shifts only.
-        offset = 1 << (diff - 1)
-        magnitude = (np.abs(values) + offset) >> diff
+    diff = np.asarray(dst_exponent, dtype=np.int64) - np.asarray(
+        src_exponent, dtype=np.int64
+    )
+    # Shift counts at or past the int64 width are undefined in C (and hence in
+    # numpy); they only arise for degenerate grids -- e.g. an all-zero group
+    # whose destination sits at the 2**-39 scale floor while the source grid is
+    # far away.  Capping is exact: a right shift of 62 already rounds every
+    # code a quantizer can emit to zero, and a left shift of 48 lifts any
+    # nonzero code magnitude past every qmax <= 2**47, so the final clip
+    # saturates identically either way (zero codes stay zero under any shift).
+    diff = np.clip(diff, -48, 62)
+    if diff.ndim == 0 and int(diff) <= 0:
+        # Pure left shift (or identity): exact, no rounding involved.
+        shifted = values << (-int(diff))
+        return np.clip(shifted, spec.qmin, spec.qmax).astype(np.int64, copy=False)
+    right = np.maximum(diff, 0)
+    left = np.maximum(-diff, 0)
+    # Offset/half of the right shift; forced to 0 where no right shift happens
+    # so the rounding adjustments below are no-ops there.
+    half = np.where(right > 0, np.int64(1) << np.maximum(right - 1, 0), np.int64(0))
+    if rounding == "half_away":
+        magnitude = (np.abs(values) + half) >> right
         shifted = np.sign(values) * magnitude
+    elif rounding == "half_even":
+        # Single biased arithmetic shift: adding ``half - 1 + lsb(quotient)``
+        # before the floor shift carries exactly when the dropped remainder
+        # exceeds half, or ties with an odd quotient -- identical to
+        # ``np.round(values / 2**right)`` for every sign (the remainder of an
+        # arithmetic shift is non-negative), in one pass instead of a
+        # quotient/remainder/tie comparison chain.
+        bias = np.where(right > 0, half - 1 + ((values >> right) & np.int64(1)), 0)
+        shifted = (values + bias) >> right
     else:
-        shifted = values << (-diff)
-    return np.clip(shifted, spec.qmin, spec.qmax).astype(np.int64)
+        raise ValueError("rounding must be 'half_away' or 'half_even'")
+    shifted = shifted << left
+    return np.clip(shifted, spec.qmin, spec.qmax).astype(np.int64, copy=False)

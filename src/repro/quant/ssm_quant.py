@@ -25,30 +25,46 @@ Two inference engines are provided:
 Fake-quant vs. integer-resident execution
 -----------------------------------------
 
-By default both engines run in *fake-quant* float: every operand is
-round-tripped through its integer grid but stored and combined as float64.
-That is the right mode for accuracy studies -- it is cheap, and provably
-equivalent to integer execution for the linear layers
-(:meth:`repro.quant.qlinear.QuantizedLinear.forward_integer`).
+The *fake-quant oracle* runs every operand through its integer grid but
+stores and combines floats: quantize, dequantize, multiply, repeat.  It is
+the numerical reference for accuracy studies, and every integer mode below
+is pinned bit-identical (or integer-exact) against it.
 
-Two :class:`SSMQuantConfig` switches move the simulation closer to what the
-FPGA actually executes:
+The *integer-resident* modes execute the same arithmetic the way the FPGA
+does -- on codes, with power-of-two scale *exponents* threaded instead of
+float scales:
 
-- ``persistent_state=True`` keeps the recurrent state ``h`` *resident* as INT
+- ``persistent_state=True`` keeps the recurrent state ``h`` resident as INT
   codes + PoT scales between decode steps (a
   :class:`~repro.mamba.cache.QuantizedSSMState` inside a
-  :class:`~repro.mamba.cache.QuantizedLayerCache`), exactly like the on-chip
-  state buffer: step entry is a cheap ``codes * scales`` dequantize instead
-  of a full re-quantization of the float state.  Because on-grid PoT
-  re-quantization is idempotent, this mode is **bit-identical** to fake-quant
-  decode while removing the per-token quantize -> dequantize -> quantize
-  state round trip (requires ``quantize_state`` and ``pot_scale``).
+  :class:`~repro.mamba.cache.QuantizedLayerCache`).  With it, the decode
+  step runs the **all-integer iteration**: x/B/C are quantized once at the
+  in-projection boundary and from there to the readout no float tensor is
+  materialized.  The ``Delta (.) B``, ``A_bar (.) h`` and ``D (.) x``
+  products fold their per-head float scalar into the re-quantization
+  multiplier (a PoT shift plus one scalar multiply on hardware -- the EM
+  units of Fig. 3), while the code-by-code products (``B_bar (.) x``,
+  ``h (.) C``) re-quantize with :func:`repro.quant.pot.shift_requantize`
+  alone: a bit shift by the exponent difference, rounding half-to-even so
+  shifted codes land exactly where the oracle's ``np.round`` would put
+  them.  The step is therefore **bit-identical** to the fake-quant oracle
+  under PoT scales -- pinned by ``tests/test_int_state.py`` and enforced
+  statically by the DT2xx dtype-flow lint over the ``# integer-resident``
+  regions (every surviving float materialization carries a
+  ``# quant-point:`` sanction, and the sanction budget can only ratchet
+  down).
 - ``integer_chunk_body=True`` runs the prefill chunk body's two ``d_state``
   contractions (the ``C B^T`` interaction matrix and the carried-state
   ``h . C`` readout) on true INT32 accumulators over the raw codes --
   the MMU execution model, sharing
   :func:`repro.quant.qlinear.grouped_integer_matmul` and its static overflow
   guard with the quantized linear layers (requires ``quantize_products``).
+- ``integer_full_chunk=True`` extends the INT32 accumulation to the two
+  remaining intra-chunk matmuls -- the decay-gated ``gate @ x`` output
+  contraction and the ``wx @ bh`` state hand-off -- with the decay folded
+  into PoT re-quantization of the gated operands and per-token operand
+  exponents shift-aligned to a common per-group grid so the contraction
+  scales are constant within each accumulator group.
 
 Use fake-quant (the defaults) for algorithm/accuracy work; enable the
 integer-resident modes when the run should mirror the hardware datapath --
@@ -70,10 +86,12 @@ from repro.mamba.config import Mamba2Config
 from repro.mamba.ops import softplus
 from repro.mamba.ssm import SSMParams, _validate_seq_lens, ssm_decay, ssm_scan
 from repro.quant.dtypes import Granularity, IntSpec
+from repro.quant.pot import absmax_requant_exponents, pot_exponent, shift_requantize
 from repro.quant.qlinear import grouped_integer_matmul
 from repro.quant.quantizer import (
     QuantizedTensor,
     QuantizerConfig,
+    _group_reshape,
     dequantize,
     quantize,
     quantize_dequantize,
@@ -114,6 +132,16 @@ class SSMQuantConfig:
         Run the prefill chunk body's ``C B^T`` and ``h . C`` contractions on
         INT32 accumulators over the raw codes (the MMU execution model, with
         its static overflow guard).  Requires ``quantize_products``.
+    integer_full_chunk:
+        Also run the remaining intra-chunk matmuls (``gate @ x`` and the
+        ``wx @ bh`` state hand-off) on INT32 accumulators: the decay-gated
+        operands are re-quantized onto PoT grids (folding the decay into the
+        shift re-quantization) and the per-token operand exponents are
+        shift-aligned per accumulator group.  Unlike ``integer_chunk_body``
+        this *changes* the scan numerics (alignment and gate quantization
+        are additional rounding points); the INT32 accumulation itself is
+        still exact, pinned against the float matmul on the same aligned
+        codes.  Requires ``integer_chunk_body``.
     """
 
     bits: int = 8
@@ -123,6 +151,7 @@ class SSMQuantConfig:
     quantize_products: bool = True
     persistent_state: bool = False
     integer_chunk_body: bool = False
+    integer_full_chunk: bool = False
 
     def __post_init__(self) -> None:
         if self.persistent_state and not (self.quantize_state and self.pot_scale):
@@ -136,6 +165,12 @@ class SSMQuantConfig:
                 "products and of the carried state; it requires "
                 "quantize_products=True and quantize_state=True"
             )
+        if self.integer_full_chunk and not self.integer_chunk_body:
+            raise ValueError(
+                "integer_full_chunk extends the integer chunk body's INT32 "
+                "accumulation to the gate @ x and state hand-off matmuls; it "
+                "requires integer_chunk_body=True"
+            )
 
     def config(self, granularity: Granularity = Granularity.PER_GROUP) -> QuantizerConfig:
         """Build the underlying :class:`QuantizerConfig`."""
@@ -146,6 +181,66 @@ class SSMQuantConfig:
             pot_scale=self.pot_scale,
             pot_rounding="ceil",
         )
+
+
+def _ungroup(grouped: np.ndarray, length: int) -> np.ndarray:
+    """Flatten a ``(..., G, g)`` grouped tensor back to ``(..., length)``.
+
+    Inverse of :func:`repro.quant.quantizer._group_reshape`: collapse the
+    group axes and trim the zero padding of the last partial group.
+    """
+    flat = grouped.reshape(grouped.shape[:-2] + (-1,))
+    return flat[..., :length]
+
+
+def _per_element_exponents(scales: np.ndarray, length: int, group_size: int) -> np.ndarray:
+    """Per-element PoT grid exponents from a quantizer scales tensor.
+
+    ``scales`` is the ``(..., G, 1)`` per-group scales of a tensor whose
+    trailing data axis holds ``length`` elements in groups of
+    ``min(group_size, length)``; the result is the ``(..., length)`` integer
+    exponent of each element's grid -- the form the shift re-quantization
+    threads through the integer-resident step.
+    """
+    exponents = pot_exponent(scales)[..., 0]
+    group = min(group_size, length)
+    return np.repeat(exponents, group, axis=-1)[..., :length]
+
+
+def _common_group_exponents(
+    exponents: np.ndarray, group_size: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Common per-accumulator-group exponent and its per-element broadcast.
+
+    The integer matmuls contract along an axis whose elements may sit on
+    different PoT grids (per-token operand exponents), while
+    :func:`repro.quant.qlinear.grouped_integer_matmul` needs one scale per
+    accumulator group.  The common exponent is the group *maximum*: aligning
+    every member onto it is a pure right shift, which never magnifies a code,
+    so the aligned operand still respects its qmax bound (and with it the
+    static overflow guard).  Grouping matches the matmul's
+    ``min(group_size, K)`` convention; padding positions (zero codes) are
+    excluded from the maximum.
+
+    Returns ``(group_exponents, per_element_exponents)`` shaped
+    ``(..., n_groups)`` and ``(..., K)``.
+    """
+    length = exponents.shape[-1]
+    group = min(group_size, length)
+    n_groups = -(-length // group)
+    pad = n_groups * group - length
+    exponents = np.asarray(exponents, dtype=np.int64)
+    if pad:
+        fill = np.full(
+            exponents.shape[:-1] + (pad,), np.iinfo(np.int64).min, dtype=np.int64
+        )
+        padded = np.concatenate([exponents, fill], axis=-1)
+    else:
+        padded = exponents
+    grouped = padded.reshape(exponents.shape[:-1] + (n_groups, group))
+    gmax = np.max(grouped, axis=-1)
+    per_element = np.repeat(gmax, group, axis=-1)[..., :length]
+    return gmax, per_element
 
 
 class QuantizedSSMStep:
@@ -189,9 +284,11 @@ class QuantizedSSMStep:
         legitimately raise :class:`OverflowError`) and computes the same
         contractions on the float fake-quant path -- the numerics every
         integer run is verified against, so a degraded request is still
-        served on the model's reference grid.  Decode is unaffected (it never
-        uses the integer chunk body).  Re-entrant; restores the previous mode
-        on exit.
+        served on the model's reference grid.  Decode likewise routes to the
+        fake-quant oracle :meth:`_step_oracle` inside the context instead of
+        the shift-requantized :meth:`_step_integer`; the two are bit-identical
+        under PoT scales, so degrading never changes decoded tokens.
+        Re-entrant; restores the previous mode on exit.
         """
         previous = self._fake_quant_fallback
         self._fake_quant_fallback = True
@@ -240,19 +337,20 @@ class QuantizedSSMStep:
             bits=self.config.bits,
         )
 
-    def _state_values(self, state) -> np.ndarray:  # integer-resident
+    def _state_values(self, state) -> np.ndarray:
         """The float view of an incoming state, quantized onto the grid.
 
-        A resident :class:`QuantizedSSMState` dequantizes directly (its codes
-        are on the grid by construction -- no absmax / rounding pass); a float
-        state goes through the fake-quant round trip when ``quantize_state``
-        is enabled, exactly as before.
+        Oracle-path plumbing only (the integer-resident step never leaves the
+        codes).  A resident :class:`QuantizedSSMState` dequantizes directly
+        (its codes are on the grid by construction -- no absmax / rounding
+        pass); a float state goes through the fake-quant round trip when
+        ``quantize_state`` is enabled, exactly as before.
         """
         if isinstance(state, QuantizedSSMState):
-            return state.dequantize()  # quant-point: resident codes -> float view
-        state = np.asarray(state, dtype=np.float64)  # quant-point: fake-quant entry
+            return state.dequantize()
+        state = np.asarray(state, dtype=np.float64)
         if self.config.quantize_state:
-            state = self._q(state)  # quant-point: state fake-quant round trip
+            state = self._q(state)
         return state
 
     def zeros_cache(  # integer-resident
@@ -305,42 +403,207 @@ class QuantizedSSMStep:
         ``state`` may be a float array (fake-quant mode: re-quantized on
         entry when ``quantize_state`` is set) or a resident
         :class:`~repro.mamba.cache.QuantizedSSMState` (integer-resident
-        mode: its codes dequantize directly, and the returned new state is a
-        resident container again -- codes in, codes out).  Under PoT scales
-        the two modes produce bit-identical outputs, because re-quantizing an
-        on-grid state is the identity.
+        mode: codes in, codes out).  A resident state dispatches to the
+        all-integer iteration :meth:`_step_integer` -- no float tensor
+        between the entry quantizations and the readout -- unless product
+        re-quantization is disabled, scales are not PoT (shifts need PoT
+        grids), or the fake-quant degradation fallback is active; those
+        cases run the float oracle :meth:`_step_oracle`.  Under PoT scales
+        the two paths are bit-identical.
+        """
+        if (
+            isinstance(state, QuantizedSSMState)
+            and self.config.quantize_products
+            and self.config.pot_scale
+            and not self._fake_quant_fallback
+        ):
+            return self._step_integer(params, x, B, C, dt, state)
+        return self._step_oracle(params, x, B, C, dt, state)
+
+    def _step_oracle(
+        self,
+        params: SSMParams,
+        x: np.ndarray,
+        B: np.ndarray,
+        C: np.ndarray,
+        dt: np.ndarray,
+        state: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """The fake-quant reference step: floats through every integer grid.
+
+        The numerical oracle the integer-resident iteration is pinned
+        against.  Every operand and element-wise product passes through its
+        quantization grid but is stored and combined as float64; with a
+        resident state the returned state is re-quantized into codes at the
+        exit (exact -- the new state is on-grid by construction).
         """
         d_col = self._d_col(params)
         resident = isinstance(state, QuantizedSSMState)
-        x = self._q(np.asarray(x, dtype=np.float64))  # quant-point: per-token x
-        B = self._q(np.asarray(B, dtype=np.float64))  # quant-point: per-token B
-        C = self._q(np.asarray(C, dtype=np.float64))  # quant-point: per-token C
+        x = self._q(np.asarray(x, dtype=np.float64))
+        B = self._q(np.asarray(B, dtype=np.float64))
+        C = self._q(np.asarray(C, dtype=np.float64))
         state = self._state_values(state)
 
         # Non-linear operators stay in floating point (dedicated FPGA units);
         # the decay pair is computed once per step by the shared helper.
         delta, a_bar = ssm_decay(params, dt)
 
-        delta_mul_b = self._qp(delta[..., :, None] * B[..., None, :])  # quant-point: Delta (.) B
-        # quant-point: B_bar (.) x
+        delta_mul_b = self._qp(delta[..., :, None] * B[..., None, :])
         b_mul_x = self._qp(delta_mul_b[..., :, None, :] * x[..., :, :, None])
-        a_mul_h = self._qp(a_bar[..., :, None, None] * state)  # quant-point: A_bar (.) h
+        a_mul_h = self._qp(a_bar[..., :, None, None] * state)
         new_state = a_mul_h + b_mul_x
         out_state = new_state
         if resident:
             # One quantization pass: the codes become the resident state and
             # their dequantized view feeds the readout below.
             out_state = self.quantize_state_codes(new_state)
-            new_state = out_state.dequantize()  # quant-point: readout view of the codes
+            new_state = out_state.dequantize()
         elif self.config.quantize_state:
-            new_state = self._q(new_state)  # quant-point: state requant
+            new_state = self._q(new_state)
             out_state = new_state
 
-        h_mul_c = self._qp(new_state * C[..., None, None, :])  # quant-point: h (.) C
+        h_mul_c = self._qp(new_state * C[..., None, None, :])
         y_ssm = np.sum(h_mul_c, axis=-1)
-        x_mul_d = self._qp(d_col * x)  # quant-point: x (.) D
+        x_mul_d = self._qp(d_col * x)
         y = y_ssm + x_mul_d
         return y, out_state
+
+    def _step_integer(  # integer-resident
+        self,
+        params: SSMParams,
+        x: np.ndarray,
+        B: np.ndarray,
+        C: np.ndarray,
+        dt: np.ndarray,
+        state: QuantizedSSMState,
+    ) -> Tuple[np.ndarray, QuantizedSSMState]:
+        """The all-integer decode iteration (codes in, codes out).
+
+        From the three entry quantizations at the in-projection boundary to
+        the ``d_state`` readout reduction, every tensor is an integer code
+        array with its PoT scale *exponent* threaded alongside.  The per-head
+        float scalars (``Delta``, ``A_bar``, ``D`` -- outputs of the
+        dedicated non-linear units) fold into the re-quantization
+        multipliers; the code-by-code products (``B_bar (.) x``,
+        ``h (.) C``) re-quantize with :func:`repro.quant.pot.shift_requantize`
+        alone.  Bit-identical to :meth:`_step_oracle` by construction: every
+        destination exponent replicates the oracle's absmax -> scale
+        derivation float-op for float-op (:func:`absmax_requant_exponents`),
+        the shifts round half-to-even exactly like the oracle's ``np.round``,
+        and PoT rescaling commutes with float rounding.
+        """
+        qmin, qmax = self._qcfg.spec.qmin, self._qcfg.spec.qmax
+        bits = self.config.bits
+        gsz = self.config.group_size
+        headdim, n = state.codes.shape[-2], state.codes.shape[-1]
+
+        # Entry quantization: the only absmax/round passes of the step.
+        x_qt = quantize(np.asarray(x, dtype=np.float64), self._qcfg)  # quant-point: x entry
+        b_qt = quantize(np.asarray(B, dtype=np.float64), self._qcfg)  # quant-point: B entry
+        c_qt = quantize(np.asarray(C, dtype=np.float64), self._qcfg)  # quant-point: C entry
+
+        if not (
+            np.isfinite(x_qt.scales).all()
+            and np.isfinite(b_qt.scales).all()
+            and np.isfinite(c_qt.scales).all()
+            and np.isfinite(state.scales).all()
+            and np.isfinite(dt).all()
+        ):
+            # A poisoned operand (e.g. fault-injected non-finite conv taps)
+            # yields a non-PoT NaN scale, which the exponent extraction would
+            # reject for the whole batch.  The float oracle instead carries
+            # the poison through row-independent arithmetic, so the serving
+            # supervisor's health check attributes the corruption to exactly
+            # the affected rows -- healthy rows stay bit-identical.
+            return self._step_oracle(params, x, B, C, dt, state)
+
+        cx = x_qt.codes.astype(np.int64)                      # (..., h, p)
+        ex = pot_exponent(x_qt.scales)[..., 0]                # (..., h, Gp)
+        ex_el = _per_element_exponents(x_qt.scales, headdim, gsz)  # (..., h, p)
+        cb_g, _, _ = _group_reshape(b_qt.codes.astype(np.int64), gsz)  # (..., Gn, gn)
+        e_b = pot_exponent(b_qt.scales)[..., 0]               # (..., Gn)
+        cc_g, _, _ = _group_reshape(c_qt.codes.astype(np.int64), gsz)  # (..., Gn, gn)
+        e_c = pot_exponent(c_qt.scales)[..., 0]               # (..., Gn)
+        ch_g, _, _ = _group_reshape(state.codes, gsz)         # (..., h, p, Gn, gn)
+        e_h = pot_exponent(state.scales)[..., 0]              # (..., h, p, Gn)
+
+        # Non-linear operators stay in floating point (dedicated FPGA units).
+        delta, a_bar = ssm_decay(params, dt)                  # (..., h) each
+
+        # Delta (.) B: the positive per-head scalar folds into the requant
+        # multiplier (the scalar times a PoT realignment -- one EM-unit
+        # multiply per code); the group absmax is the scalar times the code
+        # absmax at the source exponent, so the destination grid is exactly
+        # the oracle's.
+        amax_b = np.max(np.abs(cb_g), axis=-1)                # (..., Gn)
+        e3 = absmax_requant_exponents(
+            np.ldexp(delta[..., :, None] * amax_b[..., None, :], e_b[..., None, :]),
+            bits,
+        )                                                     # (..., h, Gn)
+        m3 = np.ldexp(delta[..., :, None], e_b[..., None, :] - e3)
+        c3 = np.clip(np.round(cb_g[..., None, :, :] * m3[..., :, :, None]), qmin, qmax)
+        c3 = c3.astype(np.int64)                              # (..., h, Gn, gn)
+
+        # B_bar (.) x: code-by-code product; pure shift re-quantization (the
+        # product exponent is the sum of the operand exponents).  The group
+        # absmax of the outer product factors into the operands' absmaxes
+        # (max |a_i * b| = max |a_i| * |b|), so the destination grid comes
+        # from two small reductions instead of a pass over the product.
+        p4 = c3[..., :, None, :, :] * cx[..., :, :, None, None]  # (..., h, p, Gn, gn)
+        e4_src = e3[..., :, None, :] + ex_el[..., :, :, None]    # (..., h, p, Gn)
+        amax4 = np.max(np.abs(c3), axis=-1)[..., :, None, :] * np.abs(cx)[..., :, :, None]
+        e4 = absmax_requant_exponents(amax4 * np.exp2(e4_src), bits)
+        c4 = shift_requantize(p4, e4_src[..., None], e4[..., None], bits, "half_even")
+
+        # A_bar (.) h: scalar fold again (a_bar in (0, 1]).
+        amax_h = np.max(np.abs(ch_g), axis=-1)                # (..., h, p, Gn)
+        e5 = absmax_requant_exponents(
+            a_bar[..., :, None, None] * amax_h * np.exp2(e_h), bits
+        )
+        m5 = np.ldexp(a_bar[..., :, None, None], e_h - e5)
+        c5 = np.clip(np.round(ch_g * m5[..., None]), qmin, qmax)  # (..., h, p, Gn, gn)
+
+        # State update: the two addends sit on different PoT grids, so the
+        # add runs on the wide accumulator (multiplying by an exp2 scale is
+        # the same exact power-of-two realignment as ldexp, at a fraction of
+        # the cost; the float64 mantissa holds every aligned sum clipped
+        # codes can produce), and the sum re-quantizes onto the fresh
+        # per-group grid that becomes the resident state -- multiplying by
+        # 2**-e6 is the exact PoT division of the oracle's quantize.
+        s = c5 * np.exp2(e5)[..., None] + c4 * np.exp2(e4)[..., None]
+        e6 = absmax_requant_exponents(np.max(np.abs(s), axis=-1), bits)
+        scale6 = np.exp2(e6)[..., None]
+        codes6 = np.clip(np.round(s * np.exp2(-e6)[..., None]), qmin, qmax)
+        out_state = QuantizedSSMState(
+            codes=_ungroup(codes6, n).astype(np.int32),
+            scales=scale6,
+            group_size=gsz,
+            bits=bits,
+        )
+
+        # h (.) C readout: code-by-code product, pure shift, then the exact
+        # ldexp decode of the shifted codes feeds the d_state reduction (the
+        # padded tail is trimmed first so the sum sees exactly the oracle's
+        # n-element operand).
+        p7 = codes6.astype(np.int64) * cc_g[..., None, None, :, :]  # (..., h, p, Gn, gn)
+        e7_src = e6 + e_c[..., None, None, :]                 # (..., h, p, Gn)
+        e7 = absmax_requant_exponents(
+            np.max(np.abs(p7), axis=-1) * np.exp2(e7_src), bits
+        )
+        c7 = shift_requantize(p7, e7_src[..., None], e7[..., None], bits, "half_even")
+        y_ssm = np.sum(_ungroup(c7 * np.exp2(e7)[..., None], n), axis=-1)
+
+        # D (.) x skip: signed scalar fold of the per-head skip coefficient.
+        cx_g, _, _ = _group_reshape(cx, gsz)                  # (..., h, Gp, gp)
+        amax_x = np.max(np.abs(cx_g), axis=-1)                # (..., h, Gp)
+        e8 = absmax_requant_exponents(
+            np.ldexp(np.abs(params.D)[..., :, None] * amax_x, ex), bits
+        )
+        m8 = np.ldexp(params.D[..., :, None], ex - e8)
+        c8 = np.clip(np.round(cx_g * m8[..., None]), qmin, qmax)
+        x_mul_d = _ungroup(c8 * np.exp2(e8)[..., None], headdim)
+
+        return y_ssm + x_mul_d, out_state
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -425,6 +688,18 @@ class QuantizedChunkedScan(QuantizedSSMStep):
         integer body agrees with the float chunk body to the last bit of the
         accumulation order.
 
+        With ``integer_full_chunk`` the remaining two intra-chunk matmuls
+        also run on the INT32 accumulator: the decay-gated interaction
+        (``gate @ x``) quantizes the gate onto a PoT grid (folding the decay
+        into that re-quantization) and contracts it against the x codes, and
+        the ``wx @ bh`` state hand-off quantizes the decay-carried x and
+        contracts it against the ``Delta (.) B`` codes.  The per-token
+        operand exponents are shift-aligned to the per-group maximum
+        (:func:`_common_group_exponents`) so every accumulator group has one
+        scale; the alignment shifts and gate quantization are additional
+        rounding points, so this mode is a further approximation of the float
+        chunk scan (the INT32 accumulation itself stays exact).
+
         Returns ``(y, final_state)`` with ``y`` shaped like ``x``.
         """
         if chunk_size <= 0:
@@ -478,13 +753,20 @@ class QuantizedChunkedScan(QuantizedSSMStep):
         A, d_col = params.A, self._d_col(params)
         quantize_state = self.config.quantize_state
         integer_body = self.config.integer_chunk_body and not self._fake_quant_fallback
+        integer_full = integer_body and self.config.integer_full_chunk
 
         # Operand quantization at the SSMU interfaces.  Per-group grids are
         # computed along the trailing axis only, so quantizing the whole
         # sequence at once is bit-identical to the step's per-token _q.  The
         # integer chunk body keeps the raw codes of C and of the re-quantized
-        # Delta (.) B product next to their float views.
-        qx = self._q(x)  # quant-point: x chunk quantization
+        # Delta (.) B product next to their float views; the full-integer
+        # chunk additionally keeps the x codes for the gate @ x contraction.
+        if integer_full:
+            x_qt = quantize(x, self._qcfg)  # quant-point: x codes (kept for the MMU body)
+            qx = dequantize(x_qt)  # quant-point: x float view
+        else:
+            x_qt = None
+            qx = self._q(x)  # quant-point: x chunk quantization
         qB = self._q(B)  # quant-point: B chunk quantization
         c_qt = quantize(C, self._qcfg)  # quant-point: C codes (kept for the MMU body)
         qC = dequantize(c_qt)  # quant-point: C float view
@@ -526,6 +808,11 @@ class QuantizedChunkedScan(QuantizedSSMStep):
         qmax = self._qcfg.spec.qmax
         group = self._qcfg.group_size
         chunk = min(chunk_size, seq_len)
+        if integer_full:
+            # Per-element PoT grid exponents of the per-token operands, in
+            # the integer form the alignment shifts consume.
+            ex_el = _per_element_exponents(x_qt.scales, headdim, group)  # (..., T, h, p)
+            edb_el = _per_element_exponents(db_qt.scales, d_state, group)  # (..., T, h, n)
         # quant-point: the causal mask is a float constant, not a tensor operand
         causal_full = np.tril(np.ones((chunk, chunk), dtype=np.float64))
         for start in range(0, seq_len, chunk):
@@ -570,9 +857,39 @@ class QuantizedChunkedScan(QuantizedSSMStep):
             causal = causal_full if q_len == chunk else causal_full[:q_len, :q_len]
             diff = lc[..., :, None, :] - lc[..., None, :, :]
             gate = cb * np.exp(np.minimum(diff, 0.0)) * causal[..., :, :, None]
-            yc = np.moveaxis(
-                np.moveaxis(gate, -1, -3) @ np.moveaxis(xc, -2, -3), -3, -2
-            )                                               # (..., Q, h, p)
+            if integer_full:
+                # Decay-gated interaction on the INT32 accumulator: the gate
+                # (decay folded in) re-quantizes onto a PoT grid along the
+                # contraction axis, and the per-token x codes shift-align to
+                # one exponent per accumulator group (pure right shifts, so
+                # the qmax bound and the overflow guard still hold).
+                gate_h = np.moveaxis(gate, -1, -3)          # (..., h, Q, Q)
+                g_qt = quantize(gate_h, self._qcfg)  # quant-point: gate requant (decay folded)
+                xh_codes = np.moveaxis(
+                    x_qt.codes[..., start:stop, :, :], -3, -1
+                ).astype(np.int64)                          # (..., h, p, Q)
+                xh_exp = np.moveaxis(ex_el[..., start:stop, :, :], -3, -1)
+                x_ge, x_el = _common_group_exponents(xh_exp, group)
+                xh_al = shift_requantize(
+                    xh_codes, xh_exp, x_el, self.config.bits, "half_even"
+                )
+                yc = np.moveaxis(
+                    grouped_integer_matmul(
+                        g_qt.codes,
+                        g_qt.scales[..., 0],
+                        xh_al,
+                        np.ldexp(1.0, x_ge),
+                        group_size=group,
+                        x_qmax=qmax,
+                        w_qmax=qmax,
+                    ),
+                    -3,
+                    -2,
+                )                                           # (..., Q, h, p)
+            else:
+                yc = np.moveaxis(
+                    np.moveaxis(gate, -1, -3) @ np.moveaxis(xc, -2, -3), -3, -2
+                )                                           # (..., Q, h, p)
             # Carried-in state readout (h_in . C per head, decayed to t).
             if integer_body:
                 readout = grouped_integer_matmul(
@@ -608,7 +925,29 @@ class QuantizedChunkedScan(QuantizedSSMStep):
             last = lc[..., -1, :]                           # (..., h)
             carry = np.exp(last[..., None, :] - lc)         # (..., Q, h)
             wx = np.moveaxis(carry[..., None] * xc, -3, -1)  # (..., h, p, Q)
-            state = np.exp(last)[..., :, None, None] * state + wx @ bh
+            if integer_full:
+                # State hand-off on the INT32 accumulator: the decay-carried
+                # x re-quantizes onto a PoT grid along the token axis and
+                # contracts against the shift-aligned Delta (.) B codes.
+                w_qt = quantize(wx, self._qcfg)  # quant-point: decay-carried x requant
+                bh_t = np.swapaxes(bh_codes, -1, -2).astype(np.int64)  # (..., h, n, Q)
+                bh_exp = np.moveaxis(edb_el[..., start:stop, :, :], -3, -1)
+                b_ge, b_el = _common_group_exponents(bh_exp, group)
+                bh_al = shift_requantize(
+                    bh_t, bh_exp, b_el, self.config.bits, "half_even"
+                )
+                handoff = grouped_integer_matmul(
+                    w_qt.codes,
+                    w_qt.scales[..., 0],
+                    bh_al,
+                    np.ldexp(1.0, b_ge),
+                    group_size=group,
+                    x_qmax=qmax,
+                    w_qmax=qmax,
+                )                                           # (..., h, p, n)
+                state = np.exp(last)[..., :, None, None] * state + handoff
+            else:
+                state = np.exp(last)[..., :, None, None] * state + wx @ bh
             if quantize_state:
                 state_qt = quantize(state, self._qcfg)  # quant-point: chunk boundary
                 state = dequantize(state_qt)  # quant-point: boundary float view

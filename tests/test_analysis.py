@@ -204,7 +204,12 @@ def test_cli_json_report_and_exit_codes(tmp_path, capsys):
     )
     assert rc == 1
     payload = json.loads(capsys.readouterr().out)
-    assert payload["summary"] == {"active": 4, "suppressed": 1, "baselined": 0}
+    assert payload["summary"] == {
+        "active": 4,
+        "suppressed": 1,
+        "baselined": 0,
+        "sanction_count": 0,  # the fixture registers no integer-resident region
+    }
     assert json.loads(out_file.read_text(encoding="utf-8")) == payload
 
     assert main([str(FIXTURES / "guarded_ok.py"), "--no-overflow"]) == 0
@@ -291,6 +296,118 @@ def test_default_registry_is_proven_safe_with_margin():
     assert findings == []
     assert len(margins) == len(specs)
     assert all(m["margin"] > 1 for m in margins)
+
+
+def test_full_chunk_contractions_registered_and_agree_with_guard():
+    """The `integer_full_chunk` matmuls (gate @ x and the state hand-off) are
+    in the registry at every committed group size, and for each one the
+    static verdict matches the runtime guard case-by-case -- including an
+    INT16-widened variant that must overflow on both sides."""
+    specs = [
+        s
+        for s in default_registry()
+        if s.origin == "ssm-chunk-body"
+        and ("gate@x" in s.name or "state hand-off" in s.name)
+    ]
+    assert len(specs) == 6  # two contractions x three committed group sizes
+    assert {s.group_len for s in specs} == {8, 32, 128}
+    rng = np.random.default_rng(2)
+    verdicts = {True: 0, False: 0}
+    for spec in specs:
+        widened = ContractionSpec(
+            name=f"{spec.name} INT16-widened",
+            origin=spec.origin,
+            x_bits=16,
+            w_bits=16,
+            group_len=spec.group_len,
+        )
+        for candidate in (spec, widened):
+            x_codes = rng.integers(
+                -candidate.x_qmax, candidate.x_qmax + 1, size=(2, candidate.group_len)
+            )
+            w_codes = rng.integers(
+                -candidate.w_qmax, candidate.w_qmax + 1, size=(3, candidate.group_len)
+            )
+            raised = False
+            try:
+                grouped_integer_matmul(
+                    x_codes,
+                    np.ones((2, 1)),
+                    w_codes,
+                    np.ones((3, 1)),
+                    group_size=candidate.group_len,
+                    x_qmax=candidate.x_qmax,
+                    w_qmax=candidate.w_qmax,
+                )
+            except OverflowError:
+                raised = True
+            assert raised == candidate.overflows, candidate.name
+            verdicts[candidate.overflows] += 1
+    assert verdicts[True] == 6 and verdicts[False] == 6
+
+
+# ----------------------------------------------------------------------
+# Sanction-budget ratchet (DT204)
+# ----------------------------------------------------------------------
+def test_count_quant_points_counts_only_registered_regions(tmp_path):
+    source = textwrap.dedent(
+        """
+        def unregistered():
+            a = 1  # quant-point: outside any region, never counted
+
+        def resident():  # integer-resident
+            b = 2  # quant-point: one
+            c = 3  # quant-point: two
+
+            def nested():
+                d = 4  # quant-point: three (nested shares the region)
+        """
+    )
+    path = tmp_path / "mod.py"
+    path.write_text(source, encoding="utf-8")
+    from repro.analysis import SourceModule, count_quant_points
+
+    assert count_quant_points(SourceModule.parse(path, root=tmp_path)) == 3
+
+
+def test_sanction_budget_finding_is_a_one_way_ratchet():
+    from repro.analysis import sanction_budget_finding
+
+    # At or under budget (or with either side unknown): no finding.
+    assert sanction_budget_finding(33, 33) is None
+    assert sanction_budget_finding(20, 33) is None
+    assert sanction_budget_finding(None, 33) is None
+    assert sanction_budget_finding(33, None) is None
+    finding = sanction_budget_finding(34, 33)
+    assert finding is not None
+    assert finding.code == "DT204"
+    assert "34" in finding.message and "33" in finding.message
+
+
+def test_live_sanction_count_matches_committed_budget():
+    """The live `# quant-point:` count equals the committed budget exactly
+    (so any new sanction trips DT204) and sits strictly below the
+    pre-refactor surface of 39 -- the all-integer decode iteration must
+    *shrink* the sanctioned float surface, not move it around."""
+    report = analyze_repo()
+    baseline = Baseline.load(repo_root() / "analysis-baseline.json")
+    assert baseline.sanction_budget is not None
+    assert report.sanction_count == baseline.sanction_budget
+    assert baseline.sanction_budget < 39
+
+
+def test_cli_gate_fires_dt204_when_budget_exceeded(tmp_path, capsys):
+    """A baseline with a smaller budget than the live count must fail the
+    CLI gate with a DT204 finding that cannot be baselined away."""
+    shrunk = {"version": 1, "findings": [], "sanction_budget": 0}
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps(shrunk), encoding="utf-8")
+    exit_code = main(
+        ["--no-overflow", "--baseline", str(baseline), "--format", "json"]
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert exit_code == 1
+    assert any(f["code"] == "DT204" for f in payload["findings"])
 
 
 # ----------------------------------------------------------------------
